@@ -1,0 +1,58 @@
+"""Shared state for the figure-regeneration benchmark harness.
+
+Every ``benchmarks/test_figXX.py`` regenerates one paper figure/table:
+it runs the corresponding :mod:`repro.analysis.experiments` driver once
+under ``pytest-benchmark`` timing, prints the same rows/series the paper
+reports, and appends them to ``benchmarks/results/`` so the output
+survives pytest's capture.
+
+Simulation-backed figures share one session-scoped
+:class:`~repro.analysis.experiments.PerformanceRunner`, so Figs. 5c, 15,
+16 and 17 reuse each other's runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import PerfSettings, PerformanceRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Sizing for the simulation-backed figures: large enough for stable
+#: per-benchmark ratios, small enough for a laptop-scale harness run.
+BENCH_SETTINGS = PerfSettings(scale=256, accesses_per_core=6000, seed=3)
+
+#: Sweep figures (18-20) rebuild schemes per config variant, so they use
+#: the representative heavy/medium/light subset the ratios are stable on.
+SWEEP_SETTINGS = PerfSettings(
+    scale=256,
+    accesses_per_core=6000,
+    seed=3,
+    benchmarks=("mcf_m", "lbm_m", "mum_m"),
+)
+
+
+@pytest.fixture(scope="session")
+def perf_runner() -> PerformanceRunner:
+    """One memoised runner for all simulation-backed figures."""
+    return PerformanceRunner(settings=BENCH_SETTINGS)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Print a figure's rows and persist them under benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Execute an experiment exactly once under benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,151 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these sweep the knobs the paper fixed, to show the
+defaults sit at (or near) the optimum of each trade-off.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.report import format_series, format_table
+from repro.config import default_config
+from repro.techniques import SchemeLatencyModel, Scheme
+from repro.techniques.base import RowSectionRegulator
+from repro.techniques.drvr import drvr_levels
+from repro.techniques.partition_reset import PartitionResetPartitioner
+from repro.xpoint.vmap import get_ir_model
+
+
+def test_ablation_drvr_section_count(benchmark, record):
+    """More Vrst levels flatten the BL but cost pump complexity."""
+    config = default_config()
+    model = get_ir_model(config)
+
+    def sweep():
+        outcome = {}
+        for sections in (2, 4, 8, 16):
+            levels = drvr_levels(config, sections=sections)
+            profile = model.v_eff_map(
+                RowSectionRegulator(levels).matrix(model)
+            )[:, 0]
+            rows = config.array.size // sections
+            intra = max(
+                float(np.ptp(profile[s * rows : (s + 1) * rows]))
+                for s in range(sections)
+            )
+            outcome[sections] = intra
+        return outcome
+
+    data = run_once(benchmark, sweep)
+    record(
+        "ablation_drvr_sections",
+        format_series(
+            "DRVR intra-section Veff spread vs section count "
+            "(paper uses 8 -> <0.1 V)",
+            sorted(data.items()),
+            unit="V",
+        ),
+    )
+    assert data[8] < 0.1
+    assert data[2] > data[8] > data[16]
+
+
+def test_ablation_pr_group_size(benchmark, record):
+    """PR's 2-bit groups hit the N=4 partition sweet spot."""
+    config = default_config()
+
+    def sweep():
+        outcome = {}
+        for group_size in (1, 2, 4):
+            scheme = Scheme(
+                name=f"PR-g{group_size}",
+                partitioner=PartitionResetPartitioner(group_size=group_size),
+                reset_before_set=True,
+            )
+            latency_model = SchemeLatencyModel(config, scheme)
+            outcome[group_size] = (
+                latency_model.worst_case_write_latency() * 1e9
+            )
+        return outcome
+
+    data = run_once(benchmark, sweep)
+    record(
+        "ablation_pr_group_size",
+        format_series(
+            "worst-case write latency vs PR group size "
+            "(2 -> ~4 concurrent RESETs, the Fig. 11a optimum)",
+            sorted(data.items()),
+            unit="ns",
+        ),
+    )
+    # 1-bit groups force 8 concurrent RESETs (over-coalescing), 4-bit
+    # groups under-partition; the paper's 2-bit choice wins.
+    assert data[2] <= data[1]
+    assert data[2] <= data[4]
+
+
+def test_ablation_pr_trigger_window(benchmark, record):
+    """The 'last 5 bits' trigger balances speed against extra writes."""
+    config = default_config()
+
+    def sweep():
+        outcome = {}
+        for trigger in (1, 3, 5, 7):
+            scheme = Scheme(
+                name=f"PR-t{trigger}",
+                partitioner=PartitionResetPartitioner(trigger_start=trigger),
+                reset_before_set=True,
+            )
+            latency_model = SchemeLatencyModel(config, scheme)
+            worst = latency_model.worst_case_write_latency() * 1e9
+            # Extra writes on a representative far-bit pattern.
+            resets = np.zeros(8, dtype=bool)
+            resets[6] = True
+            plan = scheme.partitioner.plan(resets, ~resets & False)
+            outcome[trigger] = (worst, plan.extra_resets)
+        return outcome
+
+    data = run_once(benchmark, sweep)
+    record(
+        "ablation_pr_trigger",
+        format_table(
+            ["trigger start", "worst write (ns)", "extra RESETs (bit-6 write)"],
+            [[k, v[0], v[1]] for k, v in sorted(data.items())],
+            title="PR trigger-window ablation (paper uses bit 3)",
+        ),
+    )
+    assert data[3][0] <= data[7][0]
+
+
+def test_ablation_reduced_vs_exact_solver(benchmark, record):
+    """Accuracy/runtime of the reduced model vs the exact 2-D solve."""
+    import time
+
+    from repro.circuit.crosspoint import FullArrayModel
+    from repro.circuit.line_model import ReducedArrayModel
+
+    config = default_config(size=32)
+
+    def compare():
+        full = FullArrayModel(config)
+        reduced = ReducedArrayModel(config)
+        t0 = time.perf_counter()
+        exact = full.solve_reset(31, (31,)).v_eff[(31, 31)]
+        t_full = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fast = reduced.solve_reset(31, (31,)).v_eff[(31, 31)]
+        t_reduced = time.perf_counter() - t0
+        return exact, fast, t_full, t_reduced
+
+    exact, fast, t_full, t_reduced = run_once(benchmark, compare)
+    record(
+        "ablation_solvers",
+        format_table(
+            ["solver", "worst Veff (V)", "runtime (ms)"],
+            [["exact 2-D", exact, t_full * 1e3],
+             ["reduced", fast, t_reduced * 1e3]],
+            title="Reduced vs exact solver (32x32 array)",
+        ),
+    )
+    assert abs(exact - fast) < 0.03
+    assert t_reduced < t_full

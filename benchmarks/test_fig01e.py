@@ -1,0 +1,21 @@
+"""Fig. 1e — wire resistance per junction vs technology node."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig01e
+from repro.analysis.report import format_series
+
+
+def test_fig01e_wire_resistance(benchmark, record):
+    data = run_once(benchmark, fig01e)
+    record(
+        "fig01e",
+        format_series(
+            "Fig. 1e: wire resistance per junction (paper: 11.5 ohm at 20 nm)",
+            [(f"{node:g} nm", r) for node, r in data["series"]],
+            unit="ohm",
+        ),
+    )
+    table = dict(data["series"])
+    assert table[20.0] == 11.5
+    assert table[10.0] > table[20.0] > table[32.0]

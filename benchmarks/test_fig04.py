@@ -1,0 +1,31 @@
+"""Fig. 4 — baseline effective Vrst / RESET latency / endurance maps."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig04
+from repro.analysis.report import format_table
+
+
+def test_fig04_baseline_maps(benchmark, record):
+    data = run_once(benchmark, fig04)
+    rows = []
+    for key, paper in (
+        ("v_eff", "3.0 V best / 1.7 V worst"),
+        ("latency", "15 ns best / 2.3 us worst"),
+        ("endurance", "5e6 worst / >1e12 best"),
+    ):
+        summary = data[key]
+        rows.append(
+            [key, summary.bottom_left, summary.top_right, summary.minimum,
+             summary.maximum, paper]
+        )
+    record(
+        "fig04",
+        format_table(
+            ["map", "bottom-left", "top-right", "min", "max", "paper"],
+            rows,
+            title="Fig. 4: baseline 512x512 array maps",
+        ),
+    )
+    assert data["v_eff"].minimum > 1.65
+    assert 2.0e-6 < data["latency"].maximum < 2.6e-6

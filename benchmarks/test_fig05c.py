@@ -1,0 +1,38 @@
+"""Fig. 5c — performance of prior designs, normalised to ora-64x64."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig05c
+from repro.analysis.report import format_table
+
+
+def test_fig05c_prior_designs(benchmark, record, perf_runner):
+    data = run_once(
+        benchmark, lambda: fig05c(settings=perf_runner.settings)
+    )
+    names = ("Base", "Hard", "Hard+Sys", "ora-256x256", "ora-128x128")
+    rows = [
+        [bench] + [table[name] for name in names]
+        for bench, table in data["per_benchmark"].items()
+    ]
+    rows.append(["geomean"] + [data["geomean"][name] for name in names])
+    record(
+        "fig05c",
+        format_table(
+            ["benchmark", *names],
+            rows,
+            title=(
+                "Fig. 5c: prior designs vs ora-64x64 "
+                "(paper: Hard+Sys ~7.3% below ora-128x128)"
+            ),
+        ),
+    )
+    means = data["geomean"]
+    # Ordering: the prior stacks far outperform Base and stay below the
+    # ora-128x128 oracle (paper: Hard+Sys ~7.3% below it).  Known
+    # deviation (EXPERIMENTS.md): our SCH/RBDL maintenance-write model
+    # puts Hard+Sys slightly *below* Hard, where the paper has it above.
+    assert means["Base"] < means["Hard+Sys"] < 1.02
+    assert means["Base"] < means["Hard"] < 1.02
+    assert abs(means["Hard+Sys"] - means["Hard"]) < 0.15
+    assert means["Hard+Sys"] <= means["ora-128x128"] * 1.02

@@ -1,0 +1,34 @@
+"""Fig. 5d — hardware overhead, normalised to the baseline chip."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig05d
+from repro.analysis.report import format_table
+
+PAPER = {
+    "Base": "1.00 / 1.00",
+    "Hard": "~1.6 / ~1.8",
+    "Hard+Sys": "1.53 / 1.75",
+    "DRVR": "~1.04 / ~1.05",
+    "UDRVR+PR": "~1.04 / ~1.05",
+}
+
+
+def test_fig05d_overheads(benchmark, record):
+    data = run_once(benchmark, fig05d)
+    rows = [
+        [r.scheme, r.area_factor, r.leakage_factor, r.power_factor,
+         PAPER.get(r.scheme, "-")]
+        for r in data["reports"]
+    ]
+    record(
+        "fig05d",
+        format_table(
+            ["scheme", "area x", "leakage x", "power x", "paper (area/power)"],
+            rows,
+            title="Fig. 5d: chip overheads vs baseline",
+        ),
+    )
+    reports = {r.scheme: r for r in data["reports"]}
+    assert reports["Hard+Sys"].area_factor > 1.5
+    assert reports["UDRVR+PR"].area_factor < 1.1

@@ -1,0 +1,35 @@
+"""Fig. 6 — over-RESET under static 3.7 V, and the DRVR maps."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig06
+from repro.analysis.report import format_table
+
+
+def test_fig06_drvr_maps(benchmark, record):
+    data = run_once(benchmark, fig06)
+    rows = []
+    for label, payload in (("static 3.7V", data["naive"]), ("DRVR", data["drvr"])):
+        rows.append(
+            [
+                label,
+                payload["v_eff"].minimum,
+                payload["v_eff"].maximum,
+                payload["latency"].maximum * 1e9,
+                payload["endurance"].minimum,
+            ]
+        )
+    record(
+        "fig06",
+        format_table(
+            ["scheme", "min Veff", "max Veff", "max latency (ns)",
+             "min endurance"],
+            rows,
+            title=(
+                "Fig. 6: naive over-drive vs DRVR "
+                "(paper: 1.5K-5K writes at 3.7 V; DRVR keeps 5e6)"
+            ),
+        ),
+    )
+    assert 1e3 < data["naive"]["endurance"].minimum < 1e4
+    assert data["drvr"]["endurance"].minimum > 4e6

@@ -1,0 +1,34 @@
+"""Fig. 7b — effective Vrst along the left-most bit-line, +/- DRVR."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.experiments import fig07b
+from repro.analysis.report import format_series
+
+
+def test_fig07b_leftmost_bitline(benchmark, record):
+    data = run_once(benchmark, fig07b)
+    static = data["static_profile"]
+    drvr = data["drvr_profile"]
+    samples = np.linspace(0, static.size - 1, 9).astype(int)
+    text = "\n".join(
+        [
+            format_series(
+                "Fig. 7b static 3V (paper: ~0.66 V near/far delta)",
+                [(int(r), float(static[r])) for r in samples],
+                unit="V",
+            ),
+            format_series(
+                "Fig. 7b DRVR (paper: <0.1 V within a section)",
+                [(int(r), float(drvr[r])) for r in samples],
+                unit="V",
+            ),
+            f"static near/far delta: {data['static_delta']:.3f} V (paper ~0.66)",
+            f"DRVR intra-section delta: {data['drvr_intra_section_delta']:.3f} V"
+            " (paper <0.1)",
+        ]
+    )
+    record("fig07b", text)
+    assert data["static_delta"] > 0.5
+    assert data["drvr_intra_section_delta"] < 0.1

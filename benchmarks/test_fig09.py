@@ -1,0 +1,29 @@
+"""Fig. 9 — RESET-bit count distribution of 64B writes per 8-bit MAT."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig09
+from repro.analysis.report import format_table
+
+
+def test_fig09_reset_bit_distribution(benchmark, record):
+    data = run_once(benchmark, lambda: fig09(writes=1500))
+    rows = [
+        [name] + [float(h) for h in hist]
+        for name, hist in data["histograms"].items()
+    ]
+    record(
+        "fig09",
+        format_table(
+            ["benchmark"] + [f"{n}-bit" for n in range(9)],
+            rows,
+            title=(
+                "Fig. 9: fraction of MATs resetting N bits per write "
+                "(paper: most MATs 0; 7/8-bit rare except xalancbmk)"
+            ),
+        ),
+    )
+    for name, hist in data["histograms"].items():
+        assert hist[0] > 0.4, name
+        if name not in ("xal_m", "zeu_m", "mix_1", "mix_2"):
+            assert hist[7:].sum() < 0.02, name

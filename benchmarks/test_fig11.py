@@ -1,0 +1,30 @@
+"""Fig. 11b/c/d — DRVR + PR maps at the partition optimum."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig04, fig11
+from repro.analysis.report import format_table
+
+
+def test_fig11_drvr_pr_maps(benchmark, record):
+    data = run_once(benchmark, fig11)
+    base = fig04()
+    rows = [
+        ["baseline", base["v_eff"].minimum,
+         base["latency"].maximum * 1e9, base["endurance"].minimum],
+        [f"DRVR+PR (n={data['n_bits']})", data["v_eff"].minimum,
+         data["latency"].maximum * 1e9, data["endurance"].minimum],
+    ]
+    record(
+        "fig11",
+        format_table(
+            ["config", "min Veff (V)", "max latency (ns)", "min endurance"],
+            rows,
+            title=(
+                "Fig. 11: DRVR+PR boosts the far side of the array "
+                "(paper: right-most BL down to 71 ns; worst endurance kept)"
+            ),
+        ),
+    )
+    assert data["latency"].maximum < 0.2 * base["latency"].maximum
+    assert data["endurance"].minimum > 0.5 * base["endurance"].minimum

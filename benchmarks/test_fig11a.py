@@ -1,0 +1,21 @@
+"""Fig. 11a — worst-cell effective Vrst under multi-bit RESETs."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig11a
+from repro.analysis.report import format_series
+
+
+def test_fig11a_multibit_sweet_spot(benchmark, record):
+    data = run_once(benchmark, fig11a)
+    record(
+        "fig11a",
+        format_series(
+            "Fig. 11a: worst-cell effective Vrst vs concurrent RESETs "
+            "(paper: improves to ~4 bits, then worsens)",
+            [(f"{n}-bit", v) for n, v in data["series"]],
+            unit="V",
+        )
+        + f"\noptimal concurrency: {data['optimal_bits']} (paper: 4)",
+    )
+    assert data["optimal_bits"] == 4

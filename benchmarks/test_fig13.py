@@ -1,0 +1,27 @@
+"""Fig. 13 — UDRVR+PR RESET latency and endurance maps."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig13
+from repro.analysis.report import format_table
+
+
+def test_fig13_udrvr_pr_maps(benchmark, record):
+    data = run_once(benchmark, fig13)
+    rows = [
+        ["max RESET latency (ns)", data["latency"].maximum * 1e9, "71"],
+        ["min endurance (writes)", data["endurance"].minimum, "6.7e7"],
+        ["worst-case write latency (ns)",
+         data["worst_case_write_latency"] * 1e9,
+         "71 (RESET phase) + SET phase"],
+    ]
+    record(
+        "fig13",
+        format_table(
+            ["quantity", "measured", "paper"],
+            rows,
+            title="Fig. 13: UDRVR+PR equalised latency / endurance",
+        ),
+    )
+    assert data["latency"].maximum < 200e-9
+    assert data["endurance"].minimum > 5e7

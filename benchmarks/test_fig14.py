@@ -1,0 +1,51 @@
+"""Fig. 14 — extra writes caused by PR (and D-BL) over Flip-N-Write."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig14
+from repro.analysis.report import format_table
+
+
+def test_fig14_extra_writes(benchmark, record):
+    data = run_once(benchmark, lambda: fig14(writes=1200))
+    rows = [
+        [
+            name,
+            row["base_cells"],
+            row["pr_reset_increase"],
+            row["pr_set_increase"],
+            row["pr_write_increase"],
+            row["pr_cells"],
+            row["dbl_reset_increase"],
+            row["dbl_cells"],
+        ]
+        for name, row in data["per_benchmark"].items()
+    ]
+    mean = data["mean"]
+    rows.append(
+        [
+            "mean",
+            mean["base_cells"],
+            mean["pr_reset_increase"],
+            mean["pr_set_increase"],
+            mean["pr_write_increase"],
+            mean["pr_cells"],
+            mean["dbl_reset_increase"],
+            mean["dbl_cells"],
+        ]
+    )
+    record(
+        "fig14",
+        format_table(
+            ["benchmark", "base cells", "PR +RESET", "PR +SET", "PR +writes",
+             "PR cells", "D-BL +RESET", "D-BL cells"],
+            rows,
+            title=(
+                "Fig. 14: write inflation (paper means: base 10% cells; "
+                "PR +54%/+48%/+50.7%, 14.3% cells; D-BL +235% RESETs, 20%)"
+            ),
+        ),
+    )
+    assert 0.35 < mean["pr_write_increase"] < 0.7
+    assert mean["dbl_reset_increase"] > mean["pr_reset_increase"]
+    assert 0.06 < mean["base_cells"] < 0.15

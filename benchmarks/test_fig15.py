@@ -1,0 +1,46 @@
+"""Fig. 15 — overall performance of every scheme vs ora-64x64.
+
+The headline experiment: on average UDRVR+PR should beat Hard+Sys
+(paper: +11.7%) and approach ora-64x64 (paper: ~90%).
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig15
+from repro.analysis.report import format_table
+
+NAMES = (
+    "Base",
+    "Hard",
+    "Hard+Sys",
+    "DRVR",
+    "UDRVR+PR",
+    "ora-256x256",
+    "ora-128x128",
+)
+
+
+def test_fig15_overall_performance(benchmark, record, perf_runner):
+    data = run_once(benchmark, lambda: fig15(runner=perf_runner))
+    rows = [
+        [bench] + [table[name] for name in NAMES]
+        for bench, table in data["per_benchmark"].items()
+    ]
+    rows.append(["geomean"] + [data["geomean"][name] for name in NAMES])
+    record(
+        "fig15",
+        format_table(
+            ["benchmark", *NAMES],
+            rows,
+            title=(
+                "Fig. 15: performance vs ora-64x64 (paper: UDRVR+PR "
+                "+11.7% over Hard+Sys, ~90% of ora-64x64; measured "
+                f"improvement {data['udrvr_pr_over_hard_sys']:.3f}x)"
+            ),
+        ),
+    )
+    means = data["geomean"]
+    # Who wins: UDRVR+PR over Hard+Sys over DRVR over Base.
+    assert data["udrvr_pr_over_hard_sys"] > 1.0
+    assert means["UDRVR+PR"] > means["DRVR"] > means["Base"]
+    assert means["UDRVR+PR"] > 0.85  # close to the oracle

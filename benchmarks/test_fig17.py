@@ -1,0 +1,32 @@
+"""Fig. 17 — UDRVR-3.94 (voltage-only) vs UDRVR+PR."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig17
+from repro.analysis.report import format_table
+
+
+def test_fig17_high_voltage_udrvr(benchmark, record, perf_runner):
+    data = run_once(benchmark, lambda: fig17(runner=perf_runner))
+    rows = [
+        [bench, table["UDRVR-3.94"], table["UDRVR+PR"]]
+        for bench, table in data["per_benchmark"].items()
+    ]
+    record(
+        "fig17",
+        format_table(
+            ["benchmark", "UDRVR-3.94", "UDRVR+PR"],
+            rows,
+            title=(
+                "Fig. 17: vs Hard+Sys (paper: UDRVR+PR beats UDRVR-3.94 "
+                f"by 7.2%; measured perf {data['udrvr_pr_over_394']:.3f}x, "
+                f"energy {data['udrvr_pr_energy_vs_394']:.3f}x)"
+            ),
+        ),
+    )
+    # Known deviation (EXPERIMENTS.md): our saturated-leakage selector
+    # removes the over-voltage sneak penalty, so UDRVR-3.94 performs
+    # near parity instead of 7.2% behind.  The *energy* direction is
+    # unambiguous: the 3.94 V pump costs more per write and leaks more.
+    assert data["udrvr_pr_over_394"] >= 0.96
+    assert data["udrvr_pr_energy_vs_394"] < 1.0

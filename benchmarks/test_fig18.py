@@ -1,0 +1,35 @@
+"""Fig. 18 — UDRVR+PR improvement across array sizes."""
+
+from conftest import SWEEP_SETTINGS, run_once
+
+from repro.analysis.experiments import fig18
+from repro.analysis.report import format_table
+
+
+def test_fig18_array_size_sweep(benchmark, record):
+    data = run_once(benchmark, lambda: fig18(settings=SWEEP_SETTINGS))
+    improvement = data["improvement"]
+    rows = [
+        [label, v["vs_hard_sys"], v["vs_base"]]
+        for label, v in sorted(improvement.items())
+    ]
+    record(
+        "fig18",
+        format_table(
+            ["array", "UDRVR+PR / Hard+Sys", "UDRVR+PR / Base"],
+            rows,
+            title=(
+                "Fig. 18: improvement by array size "
+                "(paper vs Hard+Sys: +6.7% / +11.7% / +18.2%)"
+            ),
+        ),
+    )
+    # Larger arrays suffer more drop -> bigger gains over the baseline.
+    assert (
+        improvement["1Kx1K"]["vs_base"]
+        > improvement["512x512"]["vs_base"]
+        > improvement["256x256"]["vs_base"]
+    )
+    assert improvement["1Kx1K"]["vs_hard_sys"] >= improvement["256x256"][
+        "vs_hard_sys"
+    ]

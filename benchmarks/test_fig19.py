@@ -1,0 +1,35 @@
+"""Fig. 19 — UDRVR+PR improvement across wire-resistance nodes."""
+
+from conftest import SWEEP_SETTINGS, run_once
+
+from repro.analysis.experiments import fig19
+from repro.analysis.report import format_table
+
+
+def test_fig19_wire_resistance_sweep(benchmark, record):
+    data = run_once(benchmark, lambda: fig19(settings=SWEEP_SETTINGS))
+    improvement = data["improvement"]
+    rows = [
+        [label, improvement[label]["vs_hard_sys"], improvement[label]["vs_base"]]
+        for label in ("32nm", "20nm", "10nm")
+    ]
+    record(
+        "fig19",
+        format_table(
+            ["node", "UDRVR+PR / Hard+Sys", "UDRVR+PR / Base"],
+            rows,
+            title=(
+                "Fig. 19: improvement by technology node "
+                "(paper vs Hard+Sys: +1.4% / +11.7% / +18.3%)"
+            ),
+        ),
+    )
+    # Thinner wires -> more drop -> bigger gains over the baseline.
+    assert (
+        improvement["10nm"]["vs_base"]
+        > improvement["20nm"]["vs_base"]
+        > improvement["32nm"]["vs_base"]
+    )
+    assert improvement["10nm"]["vs_hard_sys"] >= improvement["32nm"][
+        "vs_hard_sys"
+    ]

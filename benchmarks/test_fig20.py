@@ -1,0 +1,30 @@
+"""Fig. 20 — UDRVR+PR improvement across selector ON/OFF ratios."""
+
+from conftest import SWEEP_SETTINGS, run_once
+
+from repro.analysis.experiments import fig20
+from repro.analysis.report import format_table
+
+
+def test_fig20_selector_sweep(benchmark, record):
+    data = run_once(benchmark, lambda: fig20(settings=SWEEP_SETTINGS))
+    improvement = data["improvement"]
+    rows = [
+        [label, improvement[label]["vs_hard_sys"], improvement[label]["vs_base"]]
+        for label in ("Kr=500", "Kr=1000", "Kr=2000")
+    ]
+    record(
+        "fig20",
+        format_table(
+            ["selector", "UDRVR+PR / Hard+Sys", "UDRVR+PR / Base"],
+            rows,
+            title=(
+                "Fig. 20: improvement by selector ON/OFF ratio "
+                "(paper vs Hard+Sys: +18.9% / +11.7% / +5.8%)"
+            ),
+        ),
+    )
+    # Leakier selectors -> more sneak -> bigger gains over the baseline.
+    assert (
+        improvement["Kr=500"]["vs_base"] > improvement["Kr=2000"]["vs_base"]
+    )

@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the circuit substrate (real timing, many rounds).
+
+Unlike the figure benches these measure steady-state throughput of the
+hot kernels: the reduced ladder solve, the analytic WL model, full-map
+generation, and the write-path plan/latency lookups.
+"""
+
+import numpy as np
+
+from repro.config import default_config
+from repro.circuit.line_model import ReducedArrayModel
+from repro.mem.line_codec import LineWriteModel
+from repro.techniques import make_udrvr_pr
+from repro.workloads.datapatterns import PatternParams, WritePatternGenerator
+from repro.xpoint.vmap import get_ir_model
+
+
+def test_bench_reduced_solve_512(benchmark):
+    model = ReducedArrayModel(default_config())
+    benchmark(lambda: model.solve_reset(511, (511,)))
+
+
+def test_bench_reduced_solve_multibit(benchmark):
+    model = ReducedArrayModel(default_config())
+    cols = tuple(range(63, 512, 64))
+    benchmark(lambda: model.solve_reset(511, cols))
+
+
+def test_bench_wl_drop_vectorised(benchmark):
+    model = get_ir_model(default_config())
+    wl = model.wl_model
+    cols = np.arange(512)
+    benchmark(lambda: wl.drop(cols, n_bits=4))
+
+
+def test_bench_v_eff_map(benchmark):
+    model = get_ir_model(default_config())
+    model.v_eff_map()  # warm the profile cache: measure map assembly
+    benchmark(model.v_eff_map)
+
+
+def test_bench_line_write_plan(benchmark):
+    config = default_config()
+    writer = LineWriteModel(config, make_udrvr_pr(config))
+    generator = WritePatternGenerator(PatternParams(), seed=0)
+    masks = [generator.masks() for _ in range(64)]
+    counter = iter(range(10**9))
+
+    def one_write():
+        resets, sets = masks[next(counter) % 64]
+        return writer.write(resets, sets, row=100)
+
+    benchmark(one_write)
+
+
+def test_bench_pattern_generation(benchmark):
+    generator = WritePatternGenerator(PatternParams(), seed=1)
+    benchmark(generator.masks)

@@ -1,0 +1,62 @@
+"""Tables I, III and IV — parameter and workload fidelity."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import table_benchmarks, table_parameters
+from repro.analysis.report import format_table
+
+
+def test_table_i_and_iii_parameters(benchmark, record):
+    params = run_once(benchmark, table_parameters)
+    cell, array, pump = params["cell"], params["array"], params["pump"]
+    memory, cpu = params["memory"], params["cpu"]
+    rows = [
+        ["Ion (uA)", cell.i_on * 1e6, 90],
+        ["Kr", array.selector.kr, 1000],
+        ["MAT size", array.size, 512],
+        ["bits per MAT", array.data_width, 8],
+        ["Rwire (ohm)", array.r_wire, 11.5],
+        ["Vrst / Vset (V)", cell.v_reset, 3],
+        ["Vread (V)", cell.v_read, 1.8],
+        ["capacity (GB)", memory.capacity_bytes / 2**30, 64],
+        ["ranks/channel", memory.ranks_per_channel, 2],
+        ["chips/rank", memory.chips_per_rank, 8],
+        ["pump RESET budget (mA)", pump.i_reset_budget * 1e3, 23],
+        ["pump charge (ns)", pump.t_charge * 1e9, 28],
+        ["cores", cpu.cores, 8],
+        ["core clock (GHz)", cpu.freq_ghz, 3.2],
+    ]
+    record(
+        "table_i_iii",
+        format_table(
+            ["parameter", "model", "paper"],
+            rows,
+            title="Tables I & III: model parameters",
+        ),
+    )
+    for _, model_value, paper_value in rows:
+        assert abs(model_value - paper_value) / paper_value < 1e-6
+
+
+def test_table_iv_benchmarks(benchmark, record):
+    data = run_once(benchmark, lambda: table_benchmarks(samples=6000))
+    rows = [
+        [name, row["target_rpki"], row["measured_rpki"],
+         row["target_wpki"], row["measured_wpki"]]
+        for name, row in data["rows"].items()
+    ]
+    record(
+        "table_iv",
+        format_table(
+            ["benchmark", "RPKI (paper)", "RPKI (measured)",
+             "WPKI (paper)", "WPKI (measured)"],
+            rows,
+            title="Table IV: generated workload rates vs targets",
+        ),
+    )
+    for name, row in data["rows"].items():
+        if name.startswith("mix"):
+            continue
+        assert abs(row["measured_rpki"] - row["target_rpki"]) < 0.3 * max(
+            1.0, row["target_rpki"]
+        ), name

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Design-space exploration: where do DRVR/PR/UDRVR matter most?
+
+Reproduces the sensitivity story of §VI (Figs. 18-20) at the circuit
+level, where it is cheap: sweeps array size, technology node and
+selector quality, and reports the worst-case write latency of the
+baseline against UDRVR+PR for each design point.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import default_config
+from repro.analysis.report import format_table
+from repro.circuit.wire import wire_resistance
+from repro.config import SelectorParams
+from repro.techniques import SchemeLatencyModel, make_baseline, make_udrvr_pr
+
+
+def evaluate(config, label: str) -> list:
+    base = SchemeLatencyModel(config, make_baseline(config))
+    ours = SchemeLatencyModel(config, make_udrvr_pr(config))
+    t_base = base.worst_case_write_latency()
+    t_ours = ours.worst_case_write_latency()
+    return [label, t_base * 1e9, t_ours * 1e9, t_base / t_ours]
+
+
+def main() -> None:
+    base = default_config()
+
+    print("=== Array size (Fig. 18: bigger arrays, more drop) ===")
+    rows = [
+        evaluate(base.with_array(size=size), f"{size}x{size}")
+        for size in (256, 512, 1024)
+    ]
+    print(format_table(
+        ["array", "Base worst write (ns)", "UDRVR+PR (ns)", "gain x"], rows
+    ))
+
+    print("\n=== Technology node (Fig. 19: thinner wires, more drop) ===")
+    rows = [
+        evaluate(
+            base.with_array(tech_node_nm=node, r_wire=wire_resistance(node)),
+            f"{node:g} nm ({wire_resistance(node):.1f} ohm)",
+        )
+        for node in (32.0, 20.0, 10.0)
+    ]
+    print(format_table(
+        ["node", "Base worst write (ns)", "UDRVR+PR (ns)", "gain x"], rows
+    ))
+
+    print("\n=== Selector quality (Fig. 20: leakier selectors, more sneak) ===")
+    rows = [
+        evaluate(
+            base.with_array(selector=SelectorParams(kr=kr)), f"Kr = {kr:g}"
+        )
+        for kr in (500.0, 1000.0, 2000.0)
+    ]
+    print(format_table(
+        ["selector", "Base worst write (ns)", "UDRVR+PR (ns)", "gain x"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

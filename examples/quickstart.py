@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: IR drop in a ReRAM cross-point array, and what DRVR/PR do.
+
+Builds the paper's 512x512 baseline array, shows the voltage-drop
+problem (Fig. 4), then applies the paper's techniques step by step and
+prints what each one buys.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import default_config, get_ir_model
+from repro.analysis.report import format_table
+from repro.techniques import (
+    SchemeLatencyModel,
+    make_baseline,
+    make_drvr,
+    make_udrvr_pr,
+)
+
+
+def main() -> None:
+    config = default_config()
+    model = get_ir_model(config)
+
+    print("=== The problem (Fig. 4) ===")
+    v_eff = model.v_eff_map()
+    latency = model.latency_map()
+    print(
+        f"Applying {config.cell.v_reset:.1f} V to a "
+        f"{config.array.size}x{config.array.size} cross-point array:"
+    )
+    print(f"  best cell  (near drivers): {v_eff[0, 0]:.2f} V effective "
+          f"-> {latency[0, 0] * 1e9:.0f} ns RESET")
+    print(f"  worst cell (far corner)  : {v_eff[-1, -1]:.2f} V effective "
+          f"-> {latency[-1, -1] * 1e6:.2f} us RESET")
+    print(f"  the array must budget for the slowest cell: "
+          f"{latency.max() * 1e6:.2f} us per RESET phase\n")
+
+    print("=== Multi-bit RESETs partition the array (Fig. 11a) ===")
+    a = config.array.size
+    for n in (1, 2, 4, 8):
+        v = model.v_eff(a - 1, a - 1, n_bits=n)
+        t = model.reset_latency(a - 1, a - 1, n_bits=n)
+        print(f"  {n}-bit RESET: worst cell {v:.2f} V -> {t * 1e9:6.0f} ns")
+    print(f"  sweet spot: {model.wl_model.optimal_bits()} concurrent RESETs "
+          "(too many coalesce on the word-line)\n")
+
+    print("=== The techniques ===")
+    rows = []
+    for scheme in (
+        make_baseline(config),
+        make_drvr(config),
+        make_udrvr_pr(config),
+    ):
+        lm = SchemeLatencyModel(config, scheme)
+        rows.append(
+            [
+                scheme.name,
+                scheme.regulator.max_voltage(model),
+                lm.worst_case_write_latency() * 1e9,
+                scheme.description or "-",
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "pump output (V)", "worst write (ns)", "what it does"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

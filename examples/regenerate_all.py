@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Regenerate every non-simulation figure and export the raw data.
+
+Runs each circuit/array/write-path experiment driver, prints its
+summary, and writes JSON (plus CSV for table-shaped results) under
+``results/`` — everything an external plotting stack needs to redraw
+the paper's figures.  The simulation-backed figures (5c, 15-20) are
+omitted here because they take minutes to hours; run them via
+``pytest benchmarks/ --benchmark-only`` or ``python -m repro fig15``.
+
+Run:  python examples/regenerate_all.py [output_dir]
+"""
+
+import pathlib
+import sys
+
+from repro.analysis import (
+    export_csv_tables,
+    export_json,
+    fig01e,
+    fig04,
+    fig05b,
+    fig05d,
+    fig06,
+    fig07b,
+    fig09,
+    fig11,
+    fig11a,
+    fig13,
+    fig14,
+    table_benchmarks,
+    table_parameters,
+)
+
+DRIVERS = {
+    "fig01e": fig01e,
+    "fig04": fig04,
+    "fig05b": fig05b,
+    "fig05d": fig05d,
+    "fig06": fig06,
+    "fig07b": fig07b,
+    "fig09": fig09,
+    "fig11a": fig11a,
+    "fig11": fig11,
+    "fig13": fig13,
+    "fig14": fig14,
+    "table_benchmarks": table_benchmarks,
+    "table_parameters": table_parameters,
+}
+
+
+def main() -> None:
+    out = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    out.mkdir(parents=True, exist_ok=True)
+    for name, driver in DRIVERS.items():
+        print(f"running {name} ...", flush=True)
+        payload = driver()
+        export_json(payload, out / f"{name}.json")
+        tables = export_csv_tables(payload, out, prefix=name)
+        extras = f" + {len(tables)} csv" if tables else ""
+        print(f"  wrote {out / (name + '.json')}{extras}")
+    print(f"\nAll circuit-level experiment data regenerated under {out}/.")
+
+
+if __name__ == "__main__":
+    main()

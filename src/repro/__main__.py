@@ -1,0 +1,137 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro fig04                # baseline array maps
+    python -m repro fig15 --quick        # fast, reduced-size simulation
+    python -m repro fig15 --benchmarks mcf_m xal_m
+
+Simulation-backed figures accept ``--quick`` (smaller traces) and
+``--benchmarks`` (a subset of Table IV); circuit-level figures run at
+full fidelity either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import experiments
+from .analysis.report import format_series, format_table
+
+_SIMULATION_FIGURES = {"fig05c", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20"}
+
+_EXPERIMENTS = {
+    name: getattr(experiments, name)
+    for name in experiments.__all__
+    if name.startswith("fig") or name.startswith("table")
+}
+
+
+def _render(name: str, data: dict) -> str:
+    """Generic rendering of an experiment payload."""
+    import dataclasses
+
+    lines = [f"== {name} =="]
+    for key, value in data.items():
+        if key.endswith("_blocks") or key.endswith("_profile"):
+            continue  # full matrices/profiles are API-level detail
+        if (
+            isinstance(value, (list, tuple))
+            and value
+            and dataclasses.is_dataclass(value[0])
+        ):
+            rows = [list(dataclasses.asdict(item).values()) for item in value]
+            headers = list(dataclasses.asdict(value[0]).keys())
+            lines.append(format_table(headers, rows, title=key))
+            continue
+        if dataclasses.is_dataclass(value):
+            pairs = list(dataclasses.asdict(value).items())
+            lines.append(format_series(key, pairs))
+            continue
+        if isinstance(value, dict):
+            sample = next(iter(value.values()), None)
+            if isinstance(sample, dict):
+                headers = ["key", *sample.keys()]
+                rows = [[k, *v.values()] for k, v in value.items()]
+                try:
+                    lines.append(format_table(headers, rows, title=key))
+                    continue
+                except (TypeError, ValueError):
+                    pass
+            lines.append(format_series(key, sorted(value.items(), key=str)))
+        elif isinstance(value, (list, tuple)) and value and isinstance(
+            value[0], tuple
+        ):
+            lines.append(format_series(key, value))
+        else:
+            lines.append(f"{key}: {value}")
+    return "\n".join(str(line) for line in lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("experiment", help="'list' or an experiment name")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller traces for simulation-backed figures",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=None,
+        help="restrict simulation figures to these Table IV workloads",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the raw experiment payload as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, fn in sorted(_EXPERIMENTS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:18s} {doc}")
+        return 0
+
+    if args.experiment not in _EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            "run 'python -m repro list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    fn = _EXPERIMENTS[args.experiment]
+    kwargs = {}
+    if args.experiment in _SIMULATION_FIGURES:
+        if args.benchmarks:
+            from .workloads import benchmark_suite
+
+            known = set(benchmark_suite())
+            bad = [name for name in args.benchmarks if name not in known]
+            if bad:
+                print(
+                    f"unknown benchmark(s) {bad}; choose from {sorted(known)}",
+                    file=sys.stderr,
+                )
+                return 2
+        settings = experiments.PerfSettings(
+            accesses_per_core=2500 if args.quick else 8000,
+            benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+        )
+        kwargs["settings"] = settings
+    data = fn(**kwargs)
+    print(_render(args.experiment, data))
+    if args.json:
+        from .analysis.export import export_json
+
+        export_json(data, args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Experiment drivers, map summaries, overhead accounting and report
+rendering for every figure/table of the paper's evaluation."""
+
+from .export import export_csv_tables, export_json, to_plain
+from .experiments import (
+    PerfSettings,
+    PerformanceRunner,
+    fig01e,
+    fig04,
+    fig05b,
+    fig05c,
+    fig05d,
+    fig06,
+    fig07b,
+    fig09,
+    fig11,
+    fig11a,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    table_benchmarks,
+    table_parameters,
+)
+from .maps import MapSummary, block_reduce, summarise_map
+from .overheads import OverheadReport, chip_overheads
+from .report import format_series, format_table, format_value
+from .scorecard import SchemeScorecard, scorecard, scorecard_table
+from .sensitivity import (
+    Perturbation,
+    SensitivityRow,
+    sensitivity_report,
+)
+
+__all__ = [
+    "export_csv_tables",
+    "export_json",
+    "to_plain",
+    "PerfSettings",
+    "PerformanceRunner",
+    "fig01e",
+    "fig04",
+    "fig05b",
+    "fig05c",
+    "fig05d",
+    "fig06",
+    "fig07b",
+    "fig09",
+    "fig11",
+    "fig11a",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "table_benchmarks",
+    "table_parameters",
+    "MapSummary",
+    "block_reduce",
+    "summarise_map",
+    "OverheadReport",
+    "chip_overheads",
+    "format_series",
+    "format_table",
+    "format_value",
+    "SchemeScorecard",
+    "scorecard",
+    "scorecard_table",
+    "Perturbation",
+    "SensitivityRow",
+    "sensitivity_report",
+]

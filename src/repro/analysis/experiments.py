@@ -1,0 +1,622 @@
+"""One driver per paper figure/table (the per-experiment index of
+DESIGN.md).
+
+Every ``figXX`` function returns a plain dictionary with the same
+rows/series the paper reports; the benchmark harness under
+``benchmarks/`` renders them with :mod:`repro.analysis.report` and
+records paper-vs-measured numbers in EXPERIMENTS.md.
+
+Simulation-backed figures share a :class:`PerformanceRunner`, which
+memoises (scheme, benchmark) runs so composed figures (5c, 15, 16, 17)
+do not repeat work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit.wire import wire_resistance_table
+from ..config import SelectorParams, SystemConfig, default_config
+from ..cpu.system import SimulationResult, SystemSimulator
+from ..mem.energy import EnergyModel
+from ..mem.lifetime import LifetimeEstimator
+from ..techniques import (
+    Scheme,
+    SchemeLatencyModel,
+    make_baseline,
+    make_drvr,
+    make_naive_high_voltage,
+    standard_schemes,
+)
+from ..techniques.partition_reset import PartitionResetPartitioner
+from ..techniques.dummy_bl import DummyBitlinePartitioner
+from ..workloads import benchmark_suite
+from ..workloads.benchmarks import scale_benchmark
+from ..workloads.datapatterns import WritePatternGenerator
+from ..xpoint.vmap import get_ir_model
+from .maps import block_reduce, summarise_map
+from .overheads import chip_overheads
+
+__all__ = [
+    "PerfSettings",
+    "PerformanceRunner",
+    "fig01e",
+    "fig04",
+    "fig05b",
+    "fig05c",
+    "fig05d",
+    "fig06",
+    "fig07b",
+    "fig09",
+    "fig11a",
+    "fig11",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "table_parameters",
+    "table_benchmarks",
+]
+
+
+# ---------------------------------------------------------------------------
+# shared performance machinery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PerfSettings:
+    """Simulation sizing shared by the performance figures.
+
+    ``scale`` shrinks the DRAM L3 and every working set together (see
+    ``scale_benchmark``); ``accesses_per_core`` bounds the trace length.
+    The defaults trade a few percent of run-to-run noise for minutes of
+    runtime.
+    """
+
+    scale: int = 256
+    accesses_per_core: int = 8000
+    warmup_accesses: int = 4000  # L3 warmup records per core (untimed)
+    seed: int = 3
+    benchmarks: tuple[str, ...] | None = None  # None -> the full Table IV suite
+
+
+class PerformanceRunner:
+    """Memoised (scheme, benchmark) simulation runs for one config."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        settings: PerfSettings = PerfSettings(),
+    ) -> None:
+        base = config or default_config()
+        self.settings = settings
+        self.config = base.with_cpu(
+            l3_bytes_per_core=max(
+                64 << 10, base.cpu.l3_bytes_per_core // settings.scale
+            )
+        )
+        self.schemes = standard_schemes(self.config)
+        self._suite = {
+            name: scale_benchmark(spec, settings.scale)
+            for name, spec in benchmark_suite().items()
+        }
+        self._cache: dict[tuple[str, str], SimulationResult] = {}
+
+    @property
+    def benchmark_names(self) -> tuple[str, ...]:
+        if self.settings.benchmarks is not None:
+            return self.settings.benchmarks
+        return tuple(self._suite)
+
+    def scheme(self, name: str) -> Scheme:
+        if name not in self.schemes:
+            raise KeyError(f"unknown scheme {name!r}")
+        return self.schemes[name]
+
+    def run(self, scheme_name: str, benchmark: str) -> SimulationResult:
+        key = (scheme_name, benchmark)
+        if key not in self._cache:
+            simulator = SystemSimulator(
+                self.config,
+                self.scheme(scheme_name),
+                self._suite[benchmark],
+                accesses_per_core=self.settings.accesses_per_core,
+                seed=self.settings.seed,
+                warmup_accesses=self.settings.warmup_accesses,
+            )
+            self._cache[key] = simulator.run()
+        return self._cache[key]
+
+    def speedups(
+        self, scheme_names: tuple[str, ...], normalise_to: str
+    ) -> dict[str, dict[str, float]]:
+        """Per-benchmark IPC ratios against ``normalise_to``."""
+        table: dict[str, dict[str, float]] = {}
+        for benchmark in self.benchmark_names:
+            reference = self.run(normalise_to, benchmark).ipc
+            table[benchmark] = {
+                name: self.run(name, benchmark).ipc / reference
+                for name in scheme_names
+            }
+        return table
+
+
+def _geomean(values) -> float:
+    values = np.asarray(list(values), dtype=float)
+    return float(np.exp(np.log(values).mean()))
+
+
+# ---------------------------------------------------------------------------
+# circuit- and array-level figures
+# ---------------------------------------------------------------------------
+
+
+def fig01e(config: SystemConfig | None = None) -> dict:
+    """Fig. 1e: wire resistance per junction vs technology node."""
+    table = wire_resistance_table()
+    return {
+        "series": sorted(table.items(), reverse=True),
+        "reference": ("20 nm", 11.5),
+    }
+
+
+def _maps_payload(config: SystemConfig, v_applied, n_bits: int) -> dict:
+    model = get_ir_model(config)
+    v_eff = model.v_eff_map(v_applied, n_bits=n_bits)
+    latency = model.latency_map(v_applied, n_bits=n_bits)
+    endurance = model.endurance_map(v_applied, n_bits=n_bits)
+    return {
+        "v_eff": summarise_map(v_eff),
+        "latency": summarise_map(latency),
+        "endurance": summarise_map(endurance),
+        "v_eff_blocks": block_reduce(v_eff, reduce="min"),
+        "latency_blocks": block_reduce(latency, reduce="max"),
+        "endurance_blocks": block_reduce(endurance, reduce="min"),
+    }
+
+
+def fig04(config: SystemConfig | None = None) -> dict:
+    """Fig. 4b/c/d: baseline effective Vrst / latency / endurance maps.
+
+    Paper anchors: 1.7 V worst-corner effective Vrst, 2.3 us array RESET
+    latency, 5e6-write minimum endurance, >1e12 at the top-right corner.
+    """
+    config = config or default_config()
+    return _maps_payload(config, config.cell.v_reset, n_bits=1)
+
+
+def fig05b(config: SystemConfig | None = None) -> dict:
+    """Fig. 5b: main-memory lifetime comparison under non-stop writes."""
+    config = config or default_config()
+    estimator = LifetimeEstimator(config)
+    schemes = standard_schemes(config)
+    order = ["Base", "Hard+Sys", "Static-3.7V", "DRVR", "DRVR+PR", "UDRVR+PR"]
+    return {"reports": [estimator.estimate(schemes[name]) for name in order]}
+
+
+def fig05c(
+    config: SystemConfig | None = None,
+    settings: PerfSettings = PerfSettings(),
+    runner: PerformanceRunner | None = None,
+) -> dict:
+    """Fig. 5c: prior designs' performance vs the oracles."""
+    runner = runner or PerformanceRunner(config, settings)
+    names = ("Base", "Hard", "Hard+Sys", "ora-256x256", "ora-128x128")
+    table = runner.speedups(names, normalise_to="ora-64x64")
+    means = {
+        name: _geomean(row[name] for row in table.values()) for name in names
+    }
+    return {"per_benchmark": table, "geomean": means}
+
+
+def fig05d(config: SystemConfig | None = None) -> dict:
+    """Fig. 5d: hardware overheads normalised to the baseline chip."""
+    config = config or default_config()
+    schemes = standard_schemes(config)
+    order = ["Base", "Hard", "Hard+Sys", "DRVR", "UDRVR+PR"]
+    return {"reports": [chip_overheads(config, schemes[n]) for n in order]}
+
+
+def fig06(config: SystemConfig | None = None) -> dict:
+    """Fig. 6: naive 3.7 V over-RESET and the DRVR maps.
+
+    Paper anchors: 1.5K-5K writes at the bottom-left under a static
+    3.7 V; with DRVR all cells of a BL share ~the same effective Vrst
+    while the bottom-left keeps its 5e6-write endurance.
+    """
+    config = config or default_config()
+    model = get_ir_model(config)
+    naive = make_naive_high_voltage(config)
+    drvr = make_drvr(config)
+    return {
+        "naive": _maps_payload(
+            config, naive.regulator.matrix(model), n_bits=1
+        ),
+        "drvr": _maps_payload(config, drvr.regulator.matrix(model), n_bits=1),
+    }
+
+
+def fig07b(config: SystemConfig | None = None) -> dict:
+    """Fig. 7b: effective Vrst along the left-most BL, with/without DRVR.
+
+    Paper anchors: ~0.66 V near/far difference without DRVR; <0.1 V
+    within each section with 8 levels.
+    """
+    config = config or default_config()
+    model = get_ir_model(config)
+    a = config.array.size
+    static = model.v_eff_map(config.cell.v_reset)[:, 0]
+    drvr = make_drvr(config)
+    regulated = model.v_eff_map(drvr.regulator.matrix(model))[:, 0]
+    sections = config.array.drvr_sections
+    rows = a // sections
+    intra = max(
+        float(np.ptp(regulated[s * rows : (s + 1) * rows]))
+        for s in range(sections)
+    )
+    return {
+        "static_profile": static,
+        "drvr_profile": regulated,
+        "static_delta": float(static[0] - static[-1]),
+        "drvr_intra_section_delta": intra,
+    }
+
+
+# ---------------------------------------------------------------------------
+# write-path figures
+# ---------------------------------------------------------------------------
+
+
+def fig09(config: SystemConfig | None = None, writes: int = 2000) -> dict:
+    """Fig. 9: RESET-bit count distribution of 64B writes per 8-bit MAT.
+
+    Paper anchors: most MATs see no RESET in a write; 1-3-bit RESETs
+    appear in almost every write; 7/8-bit RESETs are rare except for
+    xalancbmk.
+    """
+    config = config or default_config()
+    width = config.array.data_width
+    line_bits = config.memory.line_bytes * 8
+    mats = line_bits // width
+    histograms: dict[str, np.ndarray] = {}
+    for name, spec in benchmark_suite().items():
+        generator = WritePatternGenerator(
+            spec.patterns[0], line_bits=line_bits, seed=17
+        )
+        counts = np.zeros(width + 1, dtype=float)
+        for _ in range(writes):
+            resets, _sets = generator.masks()
+            per_mat = resets.reshape(mats, width).sum(axis=1)
+            counts += np.bincount(per_mat, minlength=width + 1)
+        histograms[name] = counts / counts.sum()
+    return {"histograms": histograms}
+
+
+def fig11a(config: SystemConfig | None = None) -> dict:
+    """Fig. 11a: worst-cell effective Vrst under N-bit RESETs.
+
+    Paper anchor: improves up to ~4 concurrent RESETs, degrades beyond.
+    """
+    config = config or default_config()
+    model = get_ir_model(config)
+    a = config.array.size
+    series = [
+        (n, model.v_eff(a - 1, a - 1, n_bits=n))
+        for n in range(1, config.array.data_width + 1)
+    ]
+    best = max(series, key=lambda item: item[1])[0]
+    return {"series": series, "optimal_bits": best}
+
+
+def fig11(config: SystemConfig | None = None) -> dict:
+    """Fig. 11b/c/d: DRVR + PR maps at the partition optimum."""
+    config = config or default_config()
+    model = get_ir_model(config)
+    drvr = make_drvr(config)
+    n = model.wl_model.optimal_bits()
+    return {
+        "n_bits": n,
+        **_maps_payload(config, drvr.regulator.matrix(model), n_bits=n),
+    }
+
+
+def fig13(config: SystemConfig | None = None) -> dict:
+    """Fig. 13: UDRVR+PR latency and endurance maps.
+
+    Paper anchors: ~71 ns array RESET latency; left-most-BL endurance
+    lifted to ~6.7e7 writes.
+    """
+    config = config or default_config()
+    from ..techniques.udrvr import make_udrvr_pr
+
+    scheme = make_udrvr_pr(config)
+    model = get_ir_model(config)
+    n = model.wl_model.optimal_bits()
+    payload = _maps_payload(config, scheme.regulator.matrix(model), n_bits=n)
+    latency_model = SchemeLatencyModel(config, scheme)
+    payload["worst_case_write_latency"] = latency_model.worst_case_write_latency()
+    return payload
+
+
+def fig14(config: SystemConfig | None = None, writes: int = 1500) -> dict:
+    """Fig. 14: extra writes caused by PR (and D-BL) over Flip-N-Write.
+
+    Paper anchors: PR +54% RESETs / +48% SETs / +50.7% writes, 14.3% of
+    cells written; D-BL +235% RESETs / +108% writes, ~20% cells.
+    """
+    config = config or default_config()
+    width = config.array.data_width
+    line_bits = config.memory.line_bytes * 8
+    mats = line_bits // width
+    pr = PartitionResetPartitioner()
+    dbl = DummyBitlinePartitioner()
+    rows: dict[str, dict[str, float]] = {}
+    for name, spec in benchmark_suite().items():
+        generator = WritePatternGenerator(
+            spec.patterns[0], line_bits=line_bits, seed=29
+        )
+        base_resets = base_sets = 0
+        pr_resets = pr_sets = 0
+        dbl_resets = dbl_sets = 0
+        for _ in range(writes):
+            resets, sets = generator.masks()
+            base_resets += int(resets.sum())
+            base_sets += int(sets.sum())
+            reset_rows = resets.reshape(mats, width)
+            set_rows = sets.reshape(mats, width)
+            for mat in range(mats):
+                if not reset_rows[mat].any() and not set_rows[mat].any():
+                    continue
+                plan = pr.plan(reset_rows[mat], set_rows[mat])
+                pr_resets += len(plan.reset_groups)
+                pr_sets += len(plan.set_groups)
+                plan = dbl.plan(reset_rows[mat], set_rows[mat])
+                dbl_resets += len(plan.reset_groups)
+                dbl_sets += len(plan.set_groups)
+        rows[name] = {
+            "base_cells": (base_resets + base_sets) / (writes * line_bits),
+            "pr_reset_increase": pr_resets / max(1, base_resets) - 1.0,
+            "pr_set_increase": pr_sets / max(1, base_sets) - 1.0,
+            "pr_write_increase": (pr_resets + pr_sets)
+            / max(1, base_resets + base_sets)
+            - 1.0,
+            "pr_cells": (pr_resets + pr_sets) / (writes * line_bits),
+            "dbl_reset_increase": dbl_resets / max(1, base_resets) - 1.0,
+            "dbl_write_increase": (dbl_resets + dbl_sets)
+            / max(1, base_resets + base_sets)
+            - 1.0,
+            "dbl_cells": (dbl_resets + dbl_sets) / (writes * line_bits),
+        }
+    means = {
+        key: float(np.mean([row[key] for row in rows.values()]))
+        for key in next(iter(rows.values()))
+    }
+    return {"per_benchmark": rows, "mean": means}
+
+
+# ---------------------------------------------------------------------------
+# system-level figures
+# ---------------------------------------------------------------------------
+
+
+def fig15(
+    config: SystemConfig | None = None,
+    settings: PerfSettings = PerfSettings(),
+    runner: PerformanceRunner | None = None,
+) -> dict:
+    """Fig. 15: overall performance of every scheme vs ora-64x64.
+
+    Paper anchor: UDRVR+PR beats Hard+Sys by 11.7% on average and
+    reaches ~90% of ora-64x64.
+    """
+    runner = runner or PerformanceRunner(config, settings)
+    names = (
+        "Base",
+        "Hard",
+        "Hard+Sys",
+        "DRVR",
+        "UDRVR+PR",
+        "ora-256x256",
+        "ora-128x128",
+    )
+    table = runner.speedups(names, normalise_to="ora-64x64")
+    means = {
+        name: _geomean(row[name] for row in table.values()) for name in names
+    }
+    improvement = _geomean(
+        row["UDRVR+PR"] / row["Hard+Sys"] for row in table.values()
+    )
+    return {
+        "per_benchmark": table,
+        "geomean": means,
+        "udrvr_pr_over_hard_sys": improvement,
+    }
+
+
+def fig16(
+    config: SystemConfig | None = None,
+    settings: PerfSettings = PerfSettings(),
+    runner: PerformanceRunner | None = None,
+) -> dict:
+    """Fig. 16: main-memory energy, normalised to Hard+Sys.
+
+    Paper anchor: UDRVR+PR consumes ~46% less energy than Hard+Sys,
+    mostly by avoiding the hardware baselines' peripheral leakage.
+    """
+    runner = runner or PerformanceRunner(config, settings)
+    rows: dict[str, dict[str, dict[str, float]]] = {}
+    for benchmark in runner.benchmark_names:
+        per_scheme = {}
+        for name in ("Hard+Sys", "DRVR", "UDRVR+PR"):
+            result = runner.run(name, benchmark)
+            model = EnergyModel(runner.config, runner.scheme(name))
+            report = model.report(result.stats, result.elapsed_s)
+            per_scheme[name] = {
+                "read": report.read,
+                "write": report.write,
+                "pump": report.pump,
+                "leakage": report.leakage,
+                "total": report.total,
+            }
+        reference = per_scheme["Hard+Sys"]["total"]
+        for data in per_scheme.values():
+            data["normalised"] = data["total"] / reference
+        rows[benchmark] = per_scheme
+    mean = _geomean(
+        rows[b]["UDRVR+PR"]["normalised"] for b in rows
+    )
+    return {"per_benchmark": rows, "udrvr_pr_mean_normalised": mean}
+
+
+def fig17(
+    config: SystemConfig | None = None,
+    settings: PerfSettings = PerfSettings(),
+    runner: PerformanceRunner | None = None,
+) -> dict:
+    """Fig. 17: UDRVR-3.94 vs UDRVR+PR, normalised to Hard+Sys."""
+    runner = runner or PerformanceRunner(config, settings)
+    table = runner.speedups(("UDRVR-3.94", "UDRVR+PR"), normalise_to="Hard+Sys")
+    improvement = _geomean(
+        row["UDRVR+PR"] / row["UDRVR-3.94"] for row in table.values()
+    )
+    # The 3.94 V pump also costs energy: an extra boost stage on top of
+    # UDRVR's, more leakage, and more charge energy per write.
+    energy_ratios = []
+    for benchmark in runner.benchmark_names:
+        totals = {}
+        for name in ("UDRVR-3.94", "UDRVR+PR"):
+            result = runner.run(name, benchmark)
+            report = EnergyModel(runner.config, runner.scheme(name)).report(
+                result.stats, result.elapsed_s
+            )
+            totals[name] = report.total
+        energy_ratios.append(totals["UDRVR+PR"] / totals["UDRVR-3.94"])
+    return {
+        "per_benchmark": table,
+        "udrvr_pr_over_394": improvement,
+        "udrvr_pr_energy_vs_394": _geomean(energy_ratios),
+    }
+
+
+def _sweep(
+    configs: dict[str, SystemConfig], settings: PerfSettings
+) -> dict[str, dict[str, float]]:
+    """UDRVR+PR speedup over Hard+Sys and over Base per config variant.
+
+    The Hard+Sys ratio is the paper's metric; the Base ratio isolates
+    the voltage-drop trend itself (our Hard+Sys model carries a constant
+    maintenance-write handicap that flattens the sweeps; EXPERIMENTS.md
+    discusses the deviation).
+    """
+    outcome = {}
+    for label, config in configs.items():
+        runner = PerformanceRunner(config, settings)
+        table = runner.speedups(("UDRVR+PR", "Base"), normalise_to="Hard+Sys")
+        outcome[label] = {
+            "vs_hard_sys": _geomean(
+                row["UDRVR+PR"] for row in table.values()
+            ),
+            "vs_base": _geomean(
+                row["UDRVR+PR"] / row["Base"] for row in table.values()
+            ),
+        }
+    return outcome
+
+
+def fig18(
+    config: SystemConfig | None = None,
+    settings: PerfSettings = PerfSettings(benchmarks=("mcf_m", "lbm_m", "mum_m")),
+) -> dict:
+    """Fig. 18: UDRVR+PR improvement for 256/512/1K arrays.
+
+    Paper anchor: +6.7% / +11.7% / +18.2% — larger arrays suffer more
+    drop, so the techniques matter more.
+    """
+    base = config or default_config()
+    variants = {
+        "256x256": base.with_array(size=256),
+        "512x512": base,
+        "1Kx1K": base.with_array(size=1024),
+    }
+    return {"improvement": _sweep(variants, settings)}
+
+
+def fig19(
+    config: SystemConfig | None = None,
+    settings: PerfSettings = PerfSettings(benchmarks=("mcf_m", "lbm_m", "mum_m")),
+) -> dict:
+    """Fig. 19: improvement vs wire resistance (32 / 20 / 10 nm).
+
+    Paper anchor: +1.4% / +11.7% / +18.3% — thinner wires, more drop.
+    """
+    from ..circuit.wire import wire_resistance
+
+    base = config or default_config()
+    variants = {
+        f"{node:g}nm": base.with_array(
+            tech_node_nm=node, r_wire=wire_resistance(node)
+        )
+        for node in (32.0, 20.0, 10.0)
+    }
+    return {"improvement": _sweep(variants, settings)}
+
+
+def fig20(
+    config: SystemConfig | None = None,
+    settings: PerfSettings = PerfSettings(benchmarks=("mcf_m", "lbm_m", "mum_m")),
+) -> dict:
+    """Fig. 20: improvement vs selector ON/OFF ratio (0.5K / 1K / 2K).
+
+    Paper anchor: +18.9% / +11.7% / +5.8% — leakier selectors, more
+    sneak, more to mitigate.
+    """
+    base = config or default_config()
+    variants = {
+        f"Kr={int(kr)}": base.with_array(selector=SelectorParams(kr=kr))
+        for kr in (500.0, 1000.0, 2000.0)
+    }
+    return {"improvement": _sweep(variants, settings)}
+
+
+# ---------------------------------------------------------------------------
+# tables
+# ---------------------------------------------------------------------------
+
+
+def table_parameters(config: SystemConfig | None = None) -> dict:
+    """Tables I and III: the model parameters in force."""
+    config = config or default_config()
+    return {
+        "cell": config.cell,
+        "array": config.array,
+        "pump": config.pump,
+        "memory": config.memory,
+        "cpu": config.cpu,
+    }
+
+
+def table_benchmarks(samples: int = 4000) -> dict:
+    """Table IV: generated RPKI/WPKI vs the published targets."""
+    from ..workloads.synthetic import SyntheticStream
+
+    rows = {}
+    for name, spec in benchmark_suite().items():
+        target_rpki = float(np.mean([s.rpki for s in spec.streams]))
+        target_wpki = float(np.mean([s.wpki for s in spec.streams]))
+        stream = SyntheticStream(spec.streams[0], seed=5)
+        trace = stream.take(samples)
+        rows[name] = {
+            "target_rpki": target_rpki,
+            "target_wpki": target_wpki,
+            "measured_rpki": trace.rpki(),
+            "measured_wpki": trace.wpki(),
+            "description": spec.description,
+        }
+    return {"rows": rows}

@@ -1,0 +1,85 @@
+"""Export experiment payloads to JSON/CSV for external plotting.
+
+The figure drivers return nested dictionaries of dataclasses and NumPy
+arrays; this module flattens them into plain-JSON documents and writes
+per-table CSV files, so results can be consumed by any plotting stack
+without importing the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_plain", "export_json", "export_csv_tables"]
+
+
+def to_plain(value: Any) -> Any:
+    """Recursively convert a payload into JSON-serialisable types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: to_plain(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): to_plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_plain(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        # JSON has no inf/nan literals; stringify them explicitly.
+        return value if np.isfinite(value) else str(value)
+    return str(value)
+
+
+def export_json(payload: dict, path: "str | pathlib.Path") -> None:
+    """Write one experiment payload as a JSON document."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_plain(payload), indent=2) + "\n")
+
+
+def _is_table(value: Any) -> bool:
+    """A dict of dicts with a consistent column set is a CSV table."""
+    if not isinstance(value, dict) or not value:
+        return False
+    rows = list(value.values())
+    if not all(isinstance(row, dict) for row in rows):
+        return False
+    columns = set(rows[0])
+    return all(set(row) == columns for row in rows) and bool(columns)
+
+
+def export_csv_tables(
+    payload: dict, directory: "str | pathlib.Path", prefix: str = "table"
+) -> list[pathlib.Path]:
+    """Write every table-shaped sub-dictionary of a payload as CSV.
+
+    Returns the files written.  Keys that are not table-shaped (map
+    summaries, scalars) are skipped — use :func:`export_json` for the
+    full payload.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[pathlib.Path] = []
+    plain = to_plain(payload)
+    for key, value in plain.items():
+        if not _is_table(value):
+            continue
+        rows = list(value.items())
+        columns = list(rows[0][1])
+        path = directory / f"{prefix}_{key}.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["key", *columns])
+            for row_key, row in rows:
+                writer.writerow([row_key, *[row[c] for c in columns]])
+        written.append(path)
+    return written

@@ -1,0 +1,64 @@
+"""Array-map summaries in the paper's presentation format.
+
+Figures 4, 6, 11 and 13 show full-array quantities reduced to 64x64-cell
+blocks (the worst value of each block as a bar).  These helpers perform
+the same reduction plus the corner statistics quoted in the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["block_reduce", "MapSummary", "summarise_map"]
+
+
+def block_reduce(
+    values: np.ndarray, block: int = 64, reduce: str = "max"
+) -> np.ndarray:
+    """Reduce an (A, A) map to (A/block, A/block) block extrema.
+
+    ``reduce`` picks the per-block statistic: the paper uses the largest
+    RESET latency and the shortest endurance of each block.
+    """
+    values = np.asarray(values)
+    if values.ndim != 2 or values.shape[0] != values.shape[1]:
+        raise ValueError(f"expected a square map, got shape {values.shape}")
+    a = values.shape[0]
+    if block < 1 or a % block:
+        raise ValueError(f"block size {block} must divide the map size {a}")
+    folded = values.reshape(a // block, block, a // block, block)
+    if reduce == "max":
+        return folded.max(axis=(1, 3))
+    if reduce == "min":
+        return folded.min(axis=(1, 3))
+    if reduce == "mean":
+        return folded.mean(axis=(1, 3))
+    raise ValueError(f"unknown reduction {reduce!r}")
+
+
+@dataclass(frozen=True)
+class MapSummary:
+    """Corner and extremum statistics of one array map."""
+
+    bottom_left: float  # (0, 0): nearest WD and decoder, no drop
+    top_right: float  # (A-1, A-1): the worst-case RESET path
+    minimum: float
+    maximum: float
+    mean: float
+
+
+def summarise_map(values: np.ndarray) -> MapSummary:
+    """Corner/extremum statistics (ignoring non-finite entries)."""
+    values = np.asarray(values, dtype=float)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        raise ValueError("map has no finite entries")
+    return MapSummary(
+        bottom_left=float(values[0, 0]),
+        top_right=float(values[-1, -1]),
+        minimum=float(finite.min()),
+        maximum=float(finite.max()),
+        mean=float(finite.mean()),
+    )

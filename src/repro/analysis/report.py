@@ -1,0 +1,62 @@
+"""Plain-text table and series rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures
+and tables report; these helpers keep that output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "format_value"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Human-friendly rendering of one cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, pairs: Iterable[tuple[object, object]], unit: str = ""
+) -> str:
+    """Render an (x, y) series as one labelled line per point."""
+    lines = [f"{name}:"]
+    for x, y in pairs:
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"  {format_value(x):>12} -> {format_value(y)}{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Scheme scorecards: every cost/benefit axis of one technique at once.
+
+The paper's argument is inherently multi-objective — a scheme must be
+fast (Fig. 15), durable (Fig. 5b), cheap (Fig. 5d) and frugal (Fig. 16)
+at the same time.  ``scorecard`` collects all four axes for one scheme
+into a single record, and ``scorecard_table`` ranks a set of schemes,
+which is the quickest way for a downstream user to evaluate their own
+scheme variant against the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig, default_config
+from ..mem.lifetime import LifetimeEstimator
+from ..techniques.base import Scheme, SchemeLatencyModel
+from ..xpoint.vmap import get_ir_model
+from .overheads import chip_overheads
+
+__all__ = ["SchemeScorecard", "scorecard", "scorecard_table"]
+
+
+@dataclass(frozen=True)
+class SchemeScorecard:
+    """All static axes of one scheme (simulation-free)."""
+
+    scheme: str
+    worst_write_latency_s: float  # speed (bounds Fig. 15)
+    pump_voltage: float  # what the charge pump must supply
+    lifetime_years: float  # Fig. 5b metric
+    min_endurance: float
+    area_factor: float  # Fig. 5d
+    power_factor: float
+    wear_leveling_compatible: bool
+
+    @property
+    def meets_ten_year_guarantee(self) -> bool:
+        return self.lifetime_years > 10.0
+
+
+def scorecard(
+    scheme: Scheme, config: SystemConfig | None = None
+) -> SchemeScorecard:
+    """Evaluate one scheme on every static axis."""
+    config = config or default_config()
+    latency = SchemeLatencyModel(config, scheme)
+    lifetime = LifetimeEstimator(config).estimate(scheme)
+    overheads = chip_overheads(config, scheme)
+    ir = get_ir_model(scheme.effective_config(config))
+    return SchemeScorecard(
+        scheme=scheme.name,
+        worst_write_latency_s=latency.worst_case_write_latency(),
+        pump_voltage=scheme.regulator.max_voltage(ir),
+        lifetime_years=lifetime.years,
+        min_endurance=lifetime.min_endurance,
+        area_factor=overheads.area_factor,
+        power_factor=overheads.power_factor,
+        wear_leveling_compatible=scheme.wear_leveling_compatible,
+    )
+
+
+def scorecard_table(
+    schemes: dict[str, Scheme], config: SystemConfig | None = None
+) -> list[SchemeScorecard]:
+    """Scorecards for many schemes, fastest first."""
+    cards = [scorecard(scheme, config) for scheme in schemes.values()]
+    return sorted(cards, key=lambda card: card.worst_write_latency_s)

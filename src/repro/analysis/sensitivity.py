@@ -1,0 +1,106 @@
+"""Parameter sensitivity of the headline results.
+
+The calibration constants of DESIGN.md carry uncertainty: the paper
+publishes anchors, not error bars.  This module quantifies how the two
+headline quantities — the baseline array RESET latency and the UDRVR+PR
+lifetime — respond to perturbations of each model parameter, as a
+tornado-style report.  Use it to judge which anchors actually matter
+before arguing about a calibration digit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..config import SystemConfig, default_config
+from ..mem.lifetime import LifetimeEstimator
+from ..techniques.udrvr import make_udrvr_pr
+from ..xpoint.vmap import get_ir_model
+
+__all__ = ["Perturbation", "SensitivityRow", "sensitivity_report"]
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One parameter knob: a label and a config transformer."""
+
+    label: str
+    apply: Callable[[SystemConfig, float], SystemConfig]
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Relative response of a metric to one perturbed parameter."""
+
+    parameter: str
+    low_ratio: float  # metric(param * (1-delta)) / metric(baseline)
+    high_ratio: float  # metric(param * (1+delta)) / metric(baseline)
+
+    @property
+    def swing(self) -> float:
+        """Total relative swing across the perturbation range."""
+        return abs(self.high_ratio - self.low_ratio)
+
+
+def _default_perturbations() -> list[Perturbation]:
+    return [
+        Perturbation(
+            "wire resistance",
+            lambda c, f: c.with_array(r_wire=c.array.r_wire * f),
+        ),
+        Perturbation(
+            "cell RESET current (Ion)",
+            lambda c, f: c.with_cell(
+                i_on=c.cell.i_on * f, r_lrs=c.cell.r_lrs / f
+            ),
+        ),
+        Perturbation(
+            "half-select sneak",
+            lambda c, f: c.with_array(sneak_boost=c.array.sneak_boost * f),
+        ),
+        Perturbation(
+            "WL trunk fraction",
+            lambda c, f: c.with_array(
+                wl_trunk_fraction=c.array.wl_trunk_fraction * f
+            ),
+        ),
+    ]
+
+
+def baseline_latency_metric(config: SystemConfig) -> float:
+    """The Fig. 4c anchor: the baseline array RESET latency (s)."""
+    return get_ir_model(config).array_reset_latency()
+
+
+def udrvr_lifetime_metric(config: SystemConfig) -> float:
+    """The headline guarantee: UDRVR+PR system lifetime (s)."""
+    estimator = LifetimeEstimator(config)
+    return estimator.estimate(make_udrvr_pr(config)).lifetime_s
+
+
+def sensitivity_report(
+    metric: Callable[[SystemConfig], float] = baseline_latency_metric,
+    config: SystemConfig | None = None,
+    delta: float = 0.1,
+    perturbations: list[Perturbation] | None = None,
+) -> list[SensitivityRow]:
+    """Tornado rows, sorted by swing (largest first).
+
+    ``delta`` is the relative perturbation (±10 % by default).
+    """
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    config = config or default_config()
+    perturbations = perturbations or _default_perturbations()
+    reference = metric(config)
+    if reference <= 0:
+        raise ValueError("metric must be positive at the baseline")
+    rows = []
+    for knob in perturbations:
+        low = metric(knob.apply(config, 1.0 - delta)) / reference
+        high = metric(knob.apply(config, 1.0 + delta)) / reference
+        rows.append(
+            SensitivityRow(parameter=knob.label, low_ratio=low, high_ratio=high)
+        )
+    return sorted(rows, key=lambda row: row.swing, reverse=True)

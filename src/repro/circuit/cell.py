@@ -1,0 +1,119 @@
+"""ReRAM cell latency and reliability model (Equations 1 and 2).
+
+The paper's two governing equations are
+
+    Trst = beta * exp(-k * Veff)            (Equation 1)
+    Endurance = (Trst / T0) ** C            (Equation 2, C = 3)
+
+``beta`` and ``k`` are fit from the published anchor points (15 ns at a
+full 3 V effective RESET voltage; 2.3 us at the 1.7 V worst corner of
+the baseline 512x512 array) and ``T0`` from the 5e6-write endurance of a
+cell with no voltage drop.  An effective voltage below the 1.7 V write-
+failure threshold [26] cannot complete a RESET at all; the model reports
+an infinite latency for it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..config import CellParams
+
+__all__ = ["CellState", "CellModel"]
+
+
+class CellState(Enum):
+    """Resistance state of a ReRAM cell."""
+
+    LRS = "LRS"  # low resistance, stores '1' (SET)
+    HRS = "HRS"  # high resistance, stores '0' (RESET)
+
+
+@dataclass(frozen=True)
+class CellModel:
+    """Calibrated latency/endurance model for one ReRAM cell.
+
+    Attributes
+    ----------
+    k:
+        Voltage sensitivity of the RESET latency (1/V), Equation 1.
+    beta:
+        Latency prefactor (seconds), Equation 1.
+    t0:
+        Endurance reference time (seconds), Equation 2.
+    params:
+        The source :class:`~repro.config.CellParams`.
+    """
+
+    k: float
+    beta: float
+    t0: float
+    params: CellParams
+
+    @classmethod
+    def from_params(cls, params: CellParams) -> "CellModel":
+        """Fit Equations 1 and 2 to the paper's anchor points."""
+        k = math.log(params.t_reset_worst / params.t_reset_nominal) / (
+            params.v_nominal - params.v_eff_worst
+        )
+        beta = params.t_reset_nominal * math.exp(k * params.v_nominal)
+        t0 = params.t_reset_nominal / params.endurance_nominal ** (
+            1.0 / params.endurance_exponent
+        )
+        return cls(k=k, beta=beta, t0=t0, params=params)
+
+    # -- Equation 1 -----------------------------------------------------------
+
+    def reset_latency(self, v_eff: "float | np.ndarray") -> "float | np.ndarray":
+        """RESET latency (s) at effective voltage ``v_eff``.
+
+        Voltages below the write-failure threshold return ``inf``: the
+        RESET never completes [26].
+        """
+        v = np.asarray(v_eff, dtype=float)
+        latency = self.beta * np.exp(-self.k * v)
+        latency = np.where(v < self.params.v_write_fail, np.inf, latency)
+        if np.ndim(v_eff) == 0:
+            return float(latency)
+        return latency
+
+    def voltage_for_latency(self, t_reset: float) -> float:
+        """Invert Equation 1: effective voltage yielding a target latency."""
+        if t_reset <= 0:
+            raise ValueError(f"latency must be positive, got {t_reset}")
+        return math.log(self.beta / t_reset) / self.k
+
+    # -- Equation 2 -----------------------------------------------------------
+
+    def endurance(self, t_reset: "float | np.ndarray") -> "float | np.ndarray":
+        """Write endurance of a cell whose RESET takes ``t_reset`` seconds."""
+        t = np.asarray(t_reset, dtype=float)
+        writes = (t / self.t0) ** self.params.endurance_exponent
+        if np.ndim(t_reset) == 0:
+            return float(writes)
+        return writes
+
+    def endurance_at_voltage(
+        self, v_eff: "float | np.ndarray"
+    ) -> "float | np.ndarray":
+        """Endurance as a function of effective RESET voltage."""
+        return self.endurance(self.reset_latency(v_eff))
+
+    # -- convenience ----------------------------------------------------------
+
+    def write_succeeds(self, v_eff: "float | np.ndarray") -> "bool | np.ndarray":
+        """Whether the effective voltage clears the write-failure floor."""
+        result = np.asarray(v_eff, dtype=float) >= self.params.v_write_fail
+        if np.ndim(v_eff) == 0:
+            return bool(result)
+        return result
+
+    def resistance(self, state: CellState) -> float:
+        """Static resistance of the memory element in a given state."""
+        if state is CellState.LRS:
+            return self.params.r_lrs
+        return self.params.r_lrs * self.params.hrs_ratio

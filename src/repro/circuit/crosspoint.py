@@ -1,0 +1,196 @@
+"""Full cross-point array netlist and exact IR-drop solve.
+
+This module builds the complete 2-D resistive network of a cross-point
+MAT — every WL junction, every BL junction, a wire resistor between
+adjacent junctions, and a selector+cell stack at each crossing — and
+solves it exactly with :class:`repro.circuit.network.Network`.
+
+The exact solve scales as the sparse factorisation of a ``2*A*A`` node
+system, so it is used for validation and calibration at moderate array
+sizes; production maps come from the O(A) reduced model of
+:mod:`repro.circuit.line_model`, which is validated against this one in
+the test suite.
+
+Geometry conventions (Fig. 4a): rows index WLs bottom-to-top, columns
+index BLs left-to-right.  The row decoder (WL drive/ground) sits on the
+*left* (column 0 side); the column multiplexer and write drivers sit at
+the *bottom* (row 0 side).  The worst-case RESET is therefore the
+top-right cell ``(A-1, A-1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from .cell import CellModel
+from .network import GROUND, Network
+from .selector import OnStackModel, SelectorModel
+
+__all__ = ["BiasScheme", "FullArraySolution", "FullArrayModel", "BASELINE_BIAS"]
+
+
+@dataclass(frozen=True)
+class BiasScheme:
+    """How the array terminals are driven during a RESET.
+
+    Attributes
+    ----------
+    name:
+        Human-readable scheme label.
+    wl_ground_both_ends:
+        DSGB [1]: the selected WL is grounded at both the left and right
+        ends (extra row decoder copy).
+    bl_drive_both_ends:
+        DSWD [8]: the selected BL is driven from both the bottom and top
+        ends (extra write-driver copy).
+    wl_tap_every / bl_tap_every:
+        ``ora-m×m`` oracle taps: ground (WL) or drive (BL) contacts at
+        the first cell of every ``m``-cell section.  ``None`` disables.
+    """
+
+    name: str = "baseline"
+    wl_ground_both_ends: bool = False
+    bl_drive_both_ends: bool = False
+    wl_tap_every: int | None = None
+    bl_tap_every: int | None = None
+
+
+BASELINE_BIAS = BiasScheme()
+
+
+@dataclass
+class FullArraySolution:
+    """Exact solve of one RESET configuration.
+
+    ``v_eff`` maps each selected cell ``(row, col)`` to its effective
+    RESET voltage; the node voltage planes allow profile inspection.
+    """
+
+    v_eff: dict[tuple[int, int], float]
+    wl_plane: np.ndarray  # (A, A) WL junction voltages
+    bl_plane: np.ndarray  # (A, A) BL junction voltages
+    cell_currents: dict[tuple[int, int], float]
+    total_wl_current: float
+
+
+class FullArrayModel:
+    """Exact cross-point array IR-drop model."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.cell_model = CellModel.from_params(config.cell)
+        self.selector = SelectorModel.from_params(
+            config.array.selector, config.cell.i_on, config.cell.v_reset
+        )
+        self.on_stack = OnStackModel(config.cell.i_on)
+        # Same near-constant half-select sneak sink as the reduced model.
+        self.leak = OnStackModel(
+            i_on=config.array.sneak_boost * config.cell.i_on
+            / config.array.selector.kr,
+            v_sat=0.6,
+        )
+
+    def solve_reset(
+        self,
+        row: int,
+        cols: tuple[int, ...] | list[int],
+        v_applied: float | dict[int, float] | None = None,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> FullArraySolution:
+        """Solve a (multi-bit) RESET of cells ``(row, c)`` for c in cols.
+
+        ``v_applied`` is the write-driver output voltage: a scalar for
+        all selected BLs or a per-column mapping (DRVR/UDRVR supply
+        different levels per column multiplexer).  ``None`` uses the
+        nominal ``Vrst``.
+        """
+        a = self.config.array.size
+        cols = tuple(sorted(set(cols)))
+        if not 0 <= row < a:
+            raise ValueError(f"row {row} outside array of size {a}")
+        if not cols:
+            raise ValueError("at least one selected column is required")
+        if any(not 0 <= c < a for c in cols):
+            raise ValueError(f"columns {cols} outside array of size {a}")
+        v_rst = self.config.cell.v_reset
+        if v_applied is None:
+            v_applied = v_rst
+        drive = (
+            {c: float(v_applied) for c in cols}
+            if not isinstance(v_applied, dict)
+            else {c: float(v_applied[c]) for c in cols}
+        )
+        v_half = v_rst / 2.0
+
+        net = Network()
+        r_wire = self.config.array.r_wire
+        # wl[r, c] and bl[r, c] junction node handles.
+        wl = np.arange(a * a, dtype=np.intp).reshape(a, a)
+        bl = (a * a + np.arange(a * a, dtype=np.intp)).reshape(a, a)
+        net.add_nodes(2 * a * a)
+
+        for r in range(a):
+            for c in range(a - 1):
+                net.add_resistor(int(wl[r, c]), int(wl[r, c + 1]), r_wire)
+        for c in range(a):
+            for r in range(a - 1):
+                net.add_resistor(int(bl[r, c]), int(bl[r + 1, c]), r_wire)
+
+        # A selector+cell stack at every crossing, BL (top) to WL (bottom).
+        # Fully-selected cells have their selector driven on (saturating
+        # load); everything else sits in the selector subthreshold region.
+        selected_cols = set(cols)
+        for r in range(a):
+            for c in range(a):
+                if r == row and c in selected_cols:
+                    net.add_device(int(bl[r, c]), int(wl[r, c]), self.on_stack)
+                else:
+                    net.add_device(int(bl[r, c]), int(wl[r, c]), self.leak)
+
+        for r in range(a):
+            if r == row:
+                net.fix_voltage(int(wl[r, 0]), 0.0)
+                if bias.wl_ground_both_ends:
+                    net.fix_voltage(int(wl[r, a - 1]), 0.0)
+                if bias.wl_tap_every:
+                    for c in range(0, a, bias.wl_tap_every):
+                        if c:
+                            net.fix_voltage(int(wl[r, c]), 0.0)
+            else:
+                # Unselected WLs: driven to Vrst/2 at the decoder end, the
+                # other end floats (Fig. 2).
+                net.fix_voltage(int(wl[r, 0]), v_half)
+        for c in range(a):
+            if c in selected_cols:
+                net.fix_voltage(int(bl[0, c]), drive[c])
+                if bias.bl_drive_both_ends:
+                    net.fix_voltage(int(bl[a - 1, c]), drive[c])
+                if bias.bl_tap_every:
+                    for r in range(0, a, bias.bl_tap_every):
+                        if r:
+                            net.fix_voltage(int(bl[r, c]), drive[c])
+            else:
+                net.fix_voltage(int(bl[0, c]), v_half)
+
+        solution = net.solve()
+        wl_plane = solution.voltages[: a * a].reshape(a, a)
+        bl_plane = solution.voltages[a * a :].reshape(a, a)
+
+        v_eff = {
+            (row, c): float(bl_plane[row, c] - wl_plane[row, c]) for c in cols
+        }
+        cell_currents = {
+            key: float(self.on_stack.current(value)) for key, value in v_eff.items()
+        }
+        # Total current returning through the selected WL at the decoder end.
+        total = (wl_plane[row, 1] - wl_plane[row, 0]) / -r_wire
+        return FullArraySolution(
+            v_eff=v_eff,
+            wl_plane=wl_plane,
+            bl_plane=bl_plane,
+            cell_currents=cell_currents,
+            total_wl_current=abs(float(total)),
+        )

@@ -1,0 +1,147 @@
+"""Analytic word-line drop model (the paper's Fig. 8 equivalent circuit).
+
+An N-bit RESET selects one BL in each of N distinct column-multiplexer
+groups, partitioning the cross-point array into N equivalent circuits
+with smaller word-line resistance (Fig. 8b) — but the RESET and sneak
+currents of all N pieces eventually coalesce on the one selected WL, so
+resetting too many cells concurrently *worsens* the drop (Fig. 11a shows
+the sweet spot at ~4 concurrent RESETs; the same effect is reported for
+the D-BL scheme [4]).
+
+The model decomposes the WL drop of the cell at column ``c`` into three
+terms::
+
+    dV_wl(c, N) = Ion   * Rw * d(c) / N      own RESET current over the
+                                             partitioned path
+                + s     * Rw * d(c)          distributed half-select sneak
+                                             accumulating along the path
+                + (N-1) * Ion * Rw * T       companion RESET currents over
+                                             the shared trunk of length T
+
+``d(c)`` is the electrical distance from column ``c`` to the decoder
+ground (modified by DSGB / oracle taps), ``T`` the shared trunk length
+(``wl_trunk_fraction * A``, default ``A/16``, which places the optimum at
+``N* = sqrt(A / T) = 4``), and ``s`` the distributed sneak current.  ``s``
+is auto-calibrated so the 1-bit drop at the far column exactly matches
+the distributed reduced solver of :mod:`repro.circuit.line_model`; the
+two models therefore agree by construction at ``N = 1`` and the lumped
+model extends the surface to multi-bit RESETs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import SystemConfig
+from .crosspoint import BASELINE_BIAS, BiasScheme
+
+__all__ = ["WordlineDropModel"]
+
+
+class WordlineDropModel:
+    """Lumped word-line IR-drop model for 1- to N-bit RESETs."""
+
+    def __init__(self, config: SystemConfig, sneak_current: float) -> None:
+        """``sneak_current`` is the calibrated distributed sneak ``s``.
+
+        Use :meth:`calibrate` (or let
+        :class:`repro.xpoint.vmap.ArrayIRModel` do it) to derive it from
+        the reduced solver rather than guessing a constant.
+        """
+        if sneak_current < 0:
+            raise ValueError(f"sneak current must be >= 0, got {sneak_current}")
+        self.config = config
+        self.sneak_current = sneak_current
+        self.trunk_cells = config.array.wl_trunk_fraction * config.array.size
+
+    @classmethod
+    def calibrate(
+        cls, config: SystemConfig, wl_drop_far_1bit: float
+    ) -> "WordlineDropModel":
+        """Fit ``s`` so the 1-bit far-column drop matches a measurement.
+
+        ``wl_drop_far_1bit`` is the WL component of the worst-corner drop
+        obtained from the distributed solver (``dV_wl(A-1, 1)``).
+        """
+        a = config.array.size
+        r = config.array.r_wire
+        i_on = config.cell.i_on
+        s = wl_drop_far_1bit / (r * a) - i_on
+        return cls(config, max(0.0, s))
+
+    # -- geometry -------------------------------------------------------------
+
+    def distance(
+        self, col: "int | np.ndarray", bias: BiasScheme = BASELINE_BIAS
+    ) -> "float | np.ndarray":
+        """Electrical distance (in cells) from column ``col`` to ground."""
+        a = self.config.array.size
+        cols = np.asarray(col)
+        if np.any(cols < 0) or np.any(cols >= a):
+            raise ValueError(f"column {col} outside array of size {a}")
+        if bias.wl_tap_every:
+            # Oracle taps: a ground contact at the start of every section.
+            d = (cols % bias.wl_tap_every) + 1.0
+        elif bias.wl_ground_both_ends:
+            # DSGB: grounds at both ends act as parallel return paths.
+            left = cols + 1.0
+            right = a - cols
+            d = left * right / (left + right)
+        else:
+            d = cols + 1.0
+        if np.ndim(col) == 0:
+            return float(d)
+        return d
+
+    def _trunk(self, bias: BiasScheme) -> float:
+        """Shared trunk length under the given bias scheme.
+
+        Oracle taps add ideal current exits along the WL, shrinking the
+        shared segment proportionally.  DSGB's second ground does *not*
+        shorten it: the coalesced multi-bit current still crosses the
+        decoder-side contact region in each half, which is why D-BL's
+        eight-way RESETs overshoot the Fig. 11a sweet spot even with
+        double-sided grounds (§III-B).
+        """
+        if bias.wl_tap_every:
+            return self.trunk_cells * bias.wl_tap_every / self.config.array.size
+        return self.trunk_cells
+
+    # -- the model --------------------------------------------------------------
+
+    def drop(
+        self,
+        col: "int | np.ndarray",
+        n_bits: int = 1,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> "float | np.ndarray":
+        """Word-line voltage drop (V) at column ``col`` for an N-bit RESET."""
+        if n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+        d = np.asarray(self.distance(col, bias))
+        r = self.config.array.r_wire
+        i_on = self.config.cell.i_on
+        own = i_on * r * d / n_bits
+        sneak = self.sneak_current * r * d
+        companions = (n_bits - 1) * i_on * r * np.minimum(d, self._trunk(bias))
+        result = own + sneak + companions
+        if np.ndim(col) == 0:
+            return float(result)
+        return result
+
+    def optimal_bits(self, bias: BiasScheme = BASELINE_BIAS) -> int:
+        """Concurrent-RESET count minimising the far-column drop.
+
+        This is the sweet spot of Fig. 11a: ``N* = sqrt(d / T)`` rounded
+        to the nearest integer in [1, data_width].
+        """
+        a = self.config.array.size
+        d = self.distance(a - 1, bias)
+        trunk = self._trunk(bias)
+        if trunk <= 0:
+            return self.config.array.data_width
+        raw = math.sqrt(d / trunk)
+        best = int(round(raw))
+        return max(1, min(self.config.array.data_width, best))

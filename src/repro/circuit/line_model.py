@@ -1,0 +1,207 @@
+"""Reduced cross-point IR-drop model: selected lines only.
+
+During a RESET the only significant currents flow through the selected
+BL(s), the selected WL, and the half-selected cells hanging off them;
+cells in the unselected block see ~0 V (both terminals at ``Vrst/2``)
+and the unselected lines are actively driven to ``Vrst/2`` by their
+drivers.  The reduced model therefore keeps the full nonlinear ladder of
+each *selected* line — every wire segment and every half-selected
+selector — and replaces the unselected lines with ideal half-voltage
+rails.
+
+This shrinks the network from ``2*A*A`` nodes to ``(N+1)*A`` for an
+N-bit RESET, making full-array latency/endurance maps tractable.  The
+approximation is validated against the exact solver of
+:mod:`repro.circuit.crosspoint` in ``tests/circuit/test_reduced_vs_full``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from .cell import CellModel
+from .crosspoint import BASELINE_BIAS, BiasScheme
+from .network import Network
+from .selector import OnStackModel, SelectorModel
+
+__all__ = ["ReducedSolution", "ReducedArrayModel"]
+
+
+@dataclass
+class ReducedSolution:
+    """Solution of one (multi-bit) RESET in the reduced model."""
+
+    v_eff: dict[tuple[int, int], float]  # (row, col) -> effective Vrst
+    bl_profiles: dict[int, np.ndarray]  # col -> BL junction voltages by row
+    wl_profile: np.ndarray  # WL junction voltages by column
+    cell_currents: dict[tuple[int, int], float]
+    total_wl_current: float  # current returning at the decoder end
+    sneak_current: float  # aggregate half-selected leakage
+
+    def worst_v_eff(self) -> float:
+        """Smallest effective RESET voltage among the selected cells."""
+        return min(self.v_eff.values())
+
+
+class ReducedArrayModel:
+    """Fast IR-drop model of a cross-point MAT under RESET."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.cell_model = CellModel.from_params(config.cell)
+        self.selector = SelectorModel.from_params(
+            config.array.selector, config.cell.i_on, config.cell.v_reset
+        )
+        # Half-selected cells sink a nearly constant sneak current of
+        # Ion/Kr once biased past the selector knee -- the way the paper
+        # counts sneak ("1022 half-selected cells generating sneak
+        # current").  sneak_boost rescales it for calibration studies.
+        self.leak = OnStackModel(
+            i_on=config.array.sneak_boost * config.cell.i_on
+            / config.array.selector.kr,
+            v_sat=0.6,
+        )
+        self.on_stack = OnStackModel(config.cell.i_on)
+
+    def solve_reset(
+        self,
+        row: int,
+        cols: tuple[int, ...] | list[int],
+        v_applied: float | dict[int, float] | None = None,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> ReducedSolution:
+        """Solve a RESET of the cells ``(row, c)`` for ``c`` in ``cols``.
+
+        Parameters mirror
+        :meth:`repro.circuit.crosspoint.FullArrayModel.solve_reset`.
+        """
+        a = self.config.array.size
+        cols = tuple(sorted(set(cols)))
+        if not 0 <= row < a:
+            raise ValueError(f"row {row} outside array of size {a}")
+        if not cols:
+            raise ValueError("at least one selected column is required")
+        if any(not 0 <= c < a for c in cols):
+            raise ValueError(f"columns {cols} outside array of size {a}")
+
+        v_rst = self.config.cell.v_reset
+        if v_applied is None:
+            v_applied = v_rst
+        drive = (
+            {c: float(v_applied) for c in cols}
+            if not isinstance(v_applied, dict)
+            else {c: float(v_applied[c]) for c in cols}
+        )
+        v_half = v_rst / 2.0
+        r_wire = self.config.array.r_wire
+        selected = set(cols)
+
+        net = Network()
+        wl_nodes = net.add_nodes(a)  # by column
+        rail = net.add_node()
+        net.fix_voltage(rail, v_half)
+
+        # Selected WL: decoder ground at the left end (plus DSGB / taps).
+        ground_terminal = net.add_node()
+        net.fix_voltage(ground_terminal, 0.0)
+        net.add_resistor(ground_terminal, wl_nodes[0], r_wire)
+        for c in range(a - 1):
+            net.add_resistor(wl_nodes[c], wl_nodes[c + 1], r_wire)
+        if bias.wl_ground_both_ends:
+            right = net.add_node()
+            net.fix_voltage(right, 0.0)
+            net.add_resistor(right, wl_nodes[a - 1], r_wire)
+        if bias.wl_tap_every:
+            for c in range(bias.wl_tap_every, a, bias.wl_tap_every):
+                net.fix_voltage(wl_nodes[c], 0.0)
+
+        # Half-selected cells on the selected WL: unselected BLs at Vrst/2.
+        for c in range(a):
+            if c not in selected:
+                net.add_device(rail, wl_nodes[c], self.leak)
+
+        # Each selected BL is its own ladder driven from the bottom.
+        bl_nodes: dict[int, list[int]] = {}
+        for c in cols:
+            nodes = net.add_nodes(a)  # by row
+            bl_nodes[c] = nodes
+            driver = net.add_node()
+            net.fix_voltage(driver, drive[c])
+            net.add_resistor(driver, nodes[0], r_wire)
+            for r in range(a - 1):
+                net.add_resistor(nodes[r], nodes[r + 1], r_wire)
+            if bias.bl_drive_both_ends:
+                top = net.add_node()
+                net.fix_voltage(top, drive[c])
+                net.add_resistor(top, nodes[a - 1], r_wire)
+            if bias.bl_tap_every:
+                for r in range(bias.bl_tap_every, a, bias.bl_tap_every):
+                    net.fix_voltage(nodes[r], drive[c])
+            # Half-selected cells on this BL: unselected WLs at Vrst/2.
+            for r in range(a):
+                if r != row:
+                    net.add_device(nodes[r], rail, self.leak)
+            # The selected cell couples this BL to the selected WL; its
+            # selector is fully on, so it presents a saturating load.
+            net.add_device(nodes[row], wl_nodes[c], self.on_stack)
+
+        solution = net.solve()
+
+        wl_profile = np.array([solution.voltage(n) for n in wl_nodes])
+        bl_profiles = {
+            c: np.array([solution.voltage(n) for n in nodes])
+            for c, nodes in bl_nodes.items()
+        }
+        v_eff = {
+            (row, c): float(bl_profiles[c][row] - wl_profile[c]) for c in cols
+        }
+        cell_currents = {
+            key: float(self.on_stack.current(value)) for key, value in v_eff.items()
+        }
+        total_wl_current = abs(
+            (solution.voltage(wl_nodes[0]) - 0.0) / r_wire
+        )
+        sneak = sum(
+            float(self.leak.current(bl_profiles[c][r] - v_half))
+            for c in cols
+            for r in range(a)
+            if r != row
+        )
+        return ReducedSolution(
+            v_eff=v_eff,
+            bl_profiles=bl_profiles,
+            wl_profile=wl_profile,
+            cell_currents=cell_currents,
+            total_wl_current=float(total_wl_current),
+            sneak_current=float(sneak),
+        )
+
+    # -- convenience wrappers -------------------------------------------------
+
+    def effective_voltage(
+        self,
+        row: int,
+        col: int,
+        v_applied: float | None = None,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> float:
+        """Effective RESET voltage of a single selected cell."""
+        result = self.solve_reset(row, (col,), v_applied, bias)
+        return result.v_eff[(row, col)]
+
+    def reset_latency(
+        self,
+        row: int,
+        col: int,
+        v_applied: float | None = None,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> float:
+        """RESET latency (s) of a single selected cell (Equation 1)."""
+        return float(
+            self.cell_model.reset_latency(
+                self.effective_voltage(row, col, v_applied, bias)
+            )
+        )

@@ -1,0 +1,69 @@
+"""Wire resistance scaling model (Fig. 1e, after Liang et al. [25]).
+
+The per-junction wire resistance of a cross-point array grows rapidly as
+the technology node shrinks: the geometric term scales as ``1/F`` (the
+cross-section shrinks as ``F^2`` while the segment length shrinks as
+``F``) and the copper resistivity itself rises at small line widths due
+to surface and grain-boundary scattering.  Together these produce the
+super-linear ("exponential" in the paper's words) trend of Fig. 1e.
+
+The model is anchored to the paper's Table I value of 11.5 ohm per
+junction at 20 nm and reproduces the relative ordering the evaluation
+sweeps over (32 nm, 20 nm, 10 nm in Fig. 19).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "REFERENCE_NODE_NM",
+    "REFERENCE_RESISTANCE",
+    "wire_resistance",
+    "resistivity_scale",
+    "wire_resistance_table",
+]
+
+REFERENCE_NODE_NM = 20.0
+REFERENCE_RESISTANCE = 11.5  # ohm per junction at 20 nm (Table I)
+
+# Mean free path of electrons in copper; below roughly this line width the
+# effective resistivity climbs steeply (Fuchs-Sondheimer / Mayadas-Shatzkes).
+_CU_MEAN_FREE_PATH_NM = 39.0
+
+
+def resistivity_scale(node_nm: float) -> float:
+    """Effective resistivity relative to bulk copper at a given node.
+
+    A compact fit of the size-effect models used by [25]:
+    ``rho(F)/rho_bulk = 1 + lambda/F`` with ``lambda`` the electron mean
+    free path.  At 20 nm this roughly triples the bulk resistivity.
+    """
+    if node_nm <= 0:
+        raise ValueError(f"technology node must be positive, got {node_nm}")
+    return 1.0 + _CU_MEAN_FREE_PATH_NM / node_nm
+
+
+def wire_resistance(node_nm: float) -> float:
+    """Per-junction wire resistance (ohm) at a technology node.
+
+    ``R(F) = rho(F) * L / (w * h)`` with ``L, w, h`` all proportional to
+    ``F`` gives ``R ~ rho(F) / F``; the result is normalised so that
+    ``R(20 nm) = 11.5`` ohm exactly (Table I).
+    """
+    if node_nm <= 0:
+        raise ValueError(f"technology node must be positive, got {node_nm}")
+    raw = resistivity_scale(node_nm) / node_nm
+    raw_ref = resistivity_scale(REFERENCE_NODE_NM) / REFERENCE_NODE_NM
+    return REFERENCE_RESISTANCE * raw / raw_ref
+
+
+def wire_resistance_table(nodes_nm: list[float] | None = None) -> dict[float, float]:
+    """Fig. 1e data: per-junction resistance for a sweep of nodes."""
+    if nodes_nm is None:
+        nodes_nm = [60.0, 45.0, 32.0, 22.0, 20.0, 16.0, 10.0]
+    table = {node: wire_resistance(node) for node in nodes_nm}
+    for node, resistance in table.items():
+        if not math.isfinite(resistance):
+            raise ArithmeticError(f"non-finite wire resistance at {node} nm")
+    return table

@@ -1,0 +1,17 @@
+"""CMP substrate: set-associative caches, the per-core DRAM-L3
+hierarchy, interval cores, and the trace-driven system simulator."""
+
+from .cache import AccessResult, SetAssociativeCache
+from .core import CoreState
+from .hierarchy import CoreCacheHierarchy, HierarchyOutcome
+from .system import SimulationResult, SystemSimulator
+
+__all__ = [
+    "AccessResult",
+    "SetAssociativeCache",
+    "CoreState",
+    "CoreCacheHierarchy",
+    "HierarchyOutcome",
+    "SimulationResult",
+    "SystemSimulator",
+]

@@ -1,0 +1,253 @@
+"""Trace-driven CMP + memory-system simulator (§V).
+
+Eight interval-model cores play their benchmark's L2-miss streams
+through private DRAM-L3 slices; L3 misses become main-memory reads
+(which stall the issuing core, discounted by MLP) and dirty L3 victims
+become main-memory writes (posted, but subject to write-queue
+backpressure).  The ReRAM write path — Flip-N-Write masks, the active
+scheme's partitioner and voltage levels, pump constraints, write bursts
+— is the event-driven controller of :mod:`repro.mem.controller`.
+
+``Speedup = IPC_tech / IPC_base`` on the identical trace is the paper's
+performance metric (§V).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from ..config import SystemConfig
+from ..mem.controller import ControllerStats, MemoryController
+from ..mem.dimm import AddressMapping
+from ..mem.line_codec import LineWriteModel
+from ..techniques.base import Scheme
+from ..workloads.benchmarks import BenchmarkSpec
+from ..workloads.datapatterns import WritePatternGenerator
+from ..workloads.synthetic import SyntheticStream
+from .core import CoreState
+from .hierarchy import CoreCacheHierarchy
+
+__all__ = ["SimulationResult", "SystemSimulator"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a figure driver needs from one run."""
+
+    benchmark: str
+    scheme: str
+    instructions: int
+    elapsed_s: float
+    per_core_ipc: list[float]
+    stats: ControllerStats
+    l3_miss_rate: float
+    memory_reads: int
+    memory_writes: int
+
+    @property
+    def ipc(self) -> float:
+        """CMP throughput: the sum of per-core IPCs (§V's metric base)."""
+        return sum(self.per_core_ipc)
+
+
+class SystemSimulator:
+    """One (benchmark, scheme) run."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheme: Scheme,
+        benchmark: BenchmarkSpec,
+        accesses_per_core: int = 20_000,
+        seed: int = 1,
+        warmup_accesses: int = 0,
+    ) -> None:
+        self.config = config
+        self.scheme = scheme
+        self.benchmark = benchmark
+        self.accesses_per_core = accesses_per_core
+        self.warmup_accesses = warmup_accesses
+        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._seq = itertools.count()
+        self.controller = MemoryController(config, scheme, self._schedule)
+        self.mapping = AddressMapping(
+            config.memory, config.array.size, scheduling=scheme.scheduling
+        )
+        self.write_model = LineWriteModel(config, scheme)
+        self.cores: list[CoreState] = []
+        self.hierarchies: list[CoreCacheHierarchy] = []
+        self.streams: list[SyntheticStream] = []
+        self.patterns: list[WritePatternGenerator] = []
+        line_bits = config.memory.line_bytes * 8
+        for core_id in range(benchmark.cores):
+            core = CoreState(
+                params=config.cpu,
+                core_id=core_id,
+                effective_mlp=min(4.0, float(config.cpu.mshrs_per_core)),
+            )
+            self.cores.append(core)
+            self.hierarchies.append(CoreCacheHierarchy(config.cpu))
+            self.streams.append(
+                SyntheticStream(benchmark.streams[core_id], seed=seed + core_id)
+            )
+            self.patterns.append(
+                WritePatternGenerator(
+                    benchmark.patterns[core_id],
+                    line_bits=line_bits,
+                    seed=seed + 1000 + core_id,
+                )
+            )
+        self._remaining = [accesses_per_core] * benchmark.cores
+        import numpy as _np
+
+        self._maintenance_rng = _np.random.default_rng(seed + 991)
+        # A dedicated generator keeps demand-write patterns identical
+        # across schemes regardless of the maintenance rate.
+        self._maintenance_patterns = WritePatternGenerator(
+            benchmark.patterns[0], line_bits=line_bits, seed=seed + 2000
+        )
+
+    # -- event engine --------------------------------------------------------------
+
+    def _schedule(self, time: float, callback: Callable[[float], None]) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def _run_heap(self) -> float:
+        last = 0.0
+        while self._heap:
+            time, _, callback = heapq.heappop(self._heap)
+            last = max(last, time)
+            callback(time)
+        return last
+
+    # -- core behaviour -----------------------------------------------------------------
+
+    def _core_step(self, now: float, core_id: int) -> None:
+        if self._remaining[core_id] <= 0:
+            return
+        self._remaining[core_id] -= 1
+        core = self.cores[core_id]
+        stream = self.streams[core_id]
+        access = stream.next_access()
+        core.advance_compute(access.gap_instructions)
+        outcome = self.hierarchies[core_id].access_l3(
+            access.address, access.is_write
+        )
+        if outcome.level == "L3":
+            if not access.is_write:
+                core.stall_cycles(self.config.cpu.l3_hit_cycles)
+            self._schedule_next(core_id)
+            return
+        # L3 read miss: fetch the line from main memory (write misses
+        # are L2 write-backs carrying the full line -- no fetch).
+        issue = core.time_s
+        blocked = False
+        if outcome.memory_read:
+            location = self._locate(core_id, access.address)
+
+            def on_read_done(completion: float, c=core, t=issue, cid=core_id) -> None:
+                c.stall_for_read(t, completion)
+                self._schedule_next(cid)
+
+            self.controller.submit_read(issue, location, on_read_done)
+            blocked = True
+        # ... and a dirty victim, if any, is written back to ReRAM.
+        if outcome.writeback_address is not None:
+            self._submit_write(core_id, outcome.writeback_address, blocked)
+        elif not blocked:
+            self._schedule_next(core_id)
+
+    def _submit_write(
+        self, core_id: int, address: int, read_blocked: bool
+    ) -> None:
+        core = self.cores[core_id]
+        resets, sets = self.patterns[core_id].masks()
+        location = self._locate(core_id, address)
+        result = self.write_model.write(resets, sets, location.row)
+        now = core.time_s
+        # Wear-leveling swaps (or SCH/RBDL migrations) add background
+        # line writes proportional to demand writes.
+        if self._maintenance_rng.random() < self.scheme.maintenance_write_rate:
+            extra_resets, extra_sets = self._maintenance_patterns.masks()
+            extra_row = int(self._maintenance_rng.integers(self.config.array.size))
+            extra = self.write_model.write(extra_resets, extra_sets, extra_row)
+            self.controller.try_submit_write(now, location, extra)
+
+        def attempt(time: float) -> None:
+            core.stall_until(time)
+            if self.controller.try_submit_write(core.time_s, location, result):
+                if not read_blocked:
+                    self._schedule_next(core_id)
+            else:
+                # Queue full: the core stalls until a slot frees [35].
+                self.controller.notify_write_space(attempt)
+
+        attempt(now)
+
+    def _locate(self, core_id: int, address: int):
+        hotness = (
+            self.streams[core_id].hotness_rank(address)
+            if self.scheme.scheduling
+            else None
+        )
+        return self.mapping.locate(address, hotness)
+
+    def _schedule_next(self, core_id: int) -> None:
+        if self._remaining[core_id] > 0:
+            self._schedule(
+                self.cores[core_id].time_s,
+                lambda now, cid=core_id: self._core_step(now, cid),
+            )
+
+    # -- driving --------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the full trace and return the aggregated result."""
+        # Warm the DRAM-L3 slices so the measured window sees steady-state
+        # miss and write-back rates.  Warmup consumes stream records and
+        # updates cache state only -- no timing, no memory traffic --
+        # and is identical for every scheme.
+        for core_id in range(len(self.cores)):
+            stream = self.streams[core_id]
+            hierarchy = self.hierarchies[core_id]
+            for _ in range(self.warmup_accesses):
+                access = stream.next_access()
+                hierarchy.access_l3(access.address, access.is_write)
+        for core_id in range(len(self.cores)):
+            self._schedule(
+                0.0, lambda now, cid=core_id: self._core_step(now, cid)
+            )
+        last = self._run_heap()
+        # Cores can be parked waiting for a write-queue slot while the
+        # event heap is empty (reads stopped arriving, so queued writes
+        # never drained).  Force drains until everything retires.
+        for _ in range(len(self.cores) * self.accesses_per_core + 1):
+            if not any(self._remaining) and self.controller.write_queue_depth == 0:
+                break
+            self.controller.drain(last)
+            if not self._heap:
+                break
+            last = max(last, self._run_heap())
+        if any(self._remaining):
+            raise RuntimeError(
+                f"simulation deadlock: {self._remaining} accesses unconsumed"
+            )
+        elapsed = max(core.time_s for core in self.cores)
+        hierarchy_misses = sum(h.l3.misses for h in self.hierarchies)
+        hierarchy_accesses = sum(h.l3.accesses for h in self.hierarchies)
+        return SimulationResult(
+            benchmark=self.benchmark.name,
+            scheme=self.scheme.name,
+            instructions=sum(core.instructions for core in self.cores),
+            elapsed_s=elapsed,
+            per_core_ipc=[core.ipc for core in self.cores],
+            stats=self.controller.stats,
+            l3_miss_rate=(
+                hierarchy_misses / hierarchy_accesses if hierarchy_accesses else 0.0
+            ),
+            memory_reads=self.controller.stats.reads,
+            memory_writes=self.controller.stats.writes,
+        )

@@ -1,0 +1,286 @@
+"""Read-priority memory controller with write bursts (Table III, [35]).
+
+Scheduling policy, following the paper's baseline:
+
+* reads have absolute priority: a bank serves its oldest waiting read
+  first;
+* writes are issued only when no read is waiting anywhere in the
+  channel — except during a **write burst**: when the write queue fills,
+  the controller blocks all reads and drains the queue completely [35];
+* every write phase must respect the charge pump: the rank's pump
+  charges for ``t_charge`` before the phase and sources at most the
+  budgeted current, so over-budget writes (D-BL dummies in the worst
+  case) split into multiple phases;
+* writes occupy their bank for the line's RESET+SET latency, which the
+  scheme's partitioner and voltage regulator determine per write.
+
+The controller is event-driven but engine-agnostic: the owner supplies
+``schedule(delay, callback)`` (the CPU simulator's heap) and receives
+read completions through per-request callbacks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..config import SystemConfig
+from ..techniques.base import Scheme
+from .dimm import LineLocation
+from .line_codec import LineWriteResult
+from .timing import MemoryTiming
+
+__all__ = ["PendingRead", "PendingWrite", "ControllerStats", "MemoryController"]
+
+
+@dataclass
+class PendingRead:
+    arrival: float
+    location: LineLocation
+    on_complete: Callable[[float], None]
+
+
+@dataclass
+class PendingWrite:
+    arrival: float
+    location: LineLocation
+    result: LineWriteResult
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate counters for performance and energy analysis."""
+
+    reads: int = 0
+    writes: int = 0
+    read_latency_sum: float = 0.0
+    write_queue_stall_time: float = 0.0
+    write_bursts: int = 0
+    pump_charges: int = 0
+    reset_bits: int = 0
+    set_bits: int = 0
+    extra_resets: int = 0
+    extra_sets: int = 0
+    reset_energy_j: float = 0.0
+    set_energy_j: float = 0.0
+    write_phases: int = 0
+    busy_time: float = 0.0
+    write_latency_sum: float = 0.0
+
+
+class MemoryController:
+    """One channel's controller over all its ranks and banks."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheme: Scheme,
+        schedule: Callable[[float, Callable[[float], None]], None],
+    ) -> None:
+        self.config = config
+        self.scheme = scheme
+        self.schedule = schedule
+        self.timing = MemoryTiming.from_params(config.memory, config.cpu)
+        memory = config.memory
+        self._bank_free: dict[tuple[int, int, int], float] = {}
+        self._bank_read_q: dict[tuple[int, int, int], deque[PendingRead]] = {}
+        self._bank_busy: dict[tuple[int, int, int], bool] = {}
+        for channel in range(memory.channels):
+            for rank in range(memory.ranks_per_channel):
+                for bank in range(memory.banks_per_rank):
+                    key = (channel, rank, bank)
+                    self._bank_free[key] = 0.0
+                    self._bank_read_q[key] = deque()
+                    self._bank_busy[key] = False
+        # Pump constraint: per rank, the outstanding write phases'
+        # concurrent RESETs may not exceed the current budget (23 mA /
+        # 90 uA = 256 bit-RESETs).  Each entry is (end_time, resets).
+        self._pump_active: dict[tuple[int, int], list[tuple[float, int]]] = {
+            (c, r): []
+            for c in range(memory.channels)
+            for r in range(memory.ranks_per_channel)
+        }
+        self._write_q: deque[PendingWrite] = deque()
+        self._write_capacity = memory.write_queue_entries
+        self._burst = False
+        self._waiting_reads = 0
+        self._write_waiters: deque[Callable[[float], None]] = deque()
+        self.stats = ControllerStats()
+        pump = config.pump
+        self._charge_latency = (
+            pump.t_charge * scheme.overheads.pump_charge_latency_factor
+        )
+        self._reset_budget = int(
+            pump.max_concurrent_writes * scheme.overheads.write_current_factor
+        )
+
+    # -- public interface ---------------------------------------------------------
+
+    def submit_read(
+        self,
+        now: float,
+        location: LineLocation,
+        on_complete: Callable[[float], None],
+    ) -> None:
+        """Queue a line read; ``on_complete(finish_time)`` fires later."""
+        request = PendingRead(arrival=now, location=location, on_complete=on_complete)
+        self._bank_read_q[location.global_bank].append(request)
+        self._waiting_reads += 1
+        self._dispatch(location.global_bank, now + self.timing.mc_to_bank)
+
+    def try_submit_write(
+        self, now: float, location: LineLocation, result: LineWriteResult
+    ) -> bool:
+        """Queue a line write; False if the queue is full (backpressure).
+
+        A rejected caller may register with :meth:`notify_write_space`.
+        """
+        if len(self._write_q) >= self._write_capacity:
+            return False
+        self._write_q.append(
+            PendingWrite(arrival=now, location=location, result=result)
+        )
+        if len(self._write_q) >= self._write_capacity:
+            # Queue just filled: enter write-burst mode and push every
+            # bank to start draining [35].
+            self._burst = True
+            self.stats.write_bursts += 1
+            for key in self._bank_free:
+                self._dispatch(key, now)
+        elif self._waiting_reads == 0:
+            self._dispatch(location.global_bank, now + self.timing.mc_to_bank)
+        return True
+
+    def notify_write_space(self, waiter: Callable[[float], None]) -> None:
+        """Call ``waiter(time)`` when a write-queue slot frees up."""
+        self._write_waiters.append(waiter)
+
+    def drain(self, now: float) -> None:
+        """Force all queued writes to issue (end of simulation)."""
+        self._burst = bool(self._write_q)
+        for key in self._bank_free:
+            self._dispatch(key, now)
+
+    @property
+    def write_queue_depth(self) -> int:
+        return len(self._write_q)
+
+    # -- scheduling core --------------------------------------------------------------
+
+    def _dispatch(self, bank_key: tuple[int, int, int], now: float) -> None:
+        """Issue the next command for a bank if it is idle."""
+        if self._bank_busy[bank_key]:
+            return
+        start_floor = max(now, self._bank_free[bank_key])
+        read_q = self._bank_read_q[bank_key]
+        if read_q and not self._burst:
+            self._issue_read(bank_key, read_q.popleft(), start_floor)
+            return
+        if self._write_q and (self._burst or self._waiting_reads == 0):
+            write = self._next_write_for(bank_key)
+            if write is not None:
+                self._issue_write(bank_key, write, start_floor)
+                return
+        if read_q and self._burst:
+            # Reads wait out the burst; the bank-free event of the last
+            # burst write re-dispatches them.
+            return
+
+    def _next_write_for(
+        self, bank_key: tuple[int, int, int]
+    ) -> PendingWrite | None:
+        for index, write in enumerate(self._write_q):
+            if write.location.global_bank == bank_key:
+                del self._write_q[index]
+                return write
+        return None
+
+    def _issue_read(
+        self, bank_key: tuple[int, int, int], request: PendingRead, start: float
+    ) -> None:
+        self._waiting_reads -= 1
+        begin = max(start, request.arrival + self.timing.mc_to_bank)
+        finish_bank = begin + self.timing.read_service
+        completion = finish_bank + self.timing.bus_transfer
+        self._occupy(bank_key, begin, finish_bank)
+        stats = self.stats
+        stats.reads += 1
+        stats.read_latency_sum += completion - request.arrival
+        request.on_complete(completion)
+
+    def _issue_write(
+        self, bank_key: tuple[int, int, int], write: PendingWrite, start: float
+    ) -> None:
+        pump_key = bank_key[:2]
+        result = write.result
+        phases = max(
+            1, -(-result.concurrent_resets // max(1, self._reset_budget))
+        )
+        begin = max(start, write.arrival + self.timing.mc_to_bank)
+        begin = self._pump_admission(
+            pump_key, begin, min(result.concurrent_resets, self._reset_budget)
+        )
+        begin += self._charge_latency
+        # Over-budget writes split the RESET phase only; the SET phase
+        # runs once regardless.
+        duration = result.latency + (phases - 1) * result.reset_latency
+        finish = begin + duration
+        self._pump_active[pump_key].append(
+            (finish, min(result.concurrent_resets, self._reset_budget))
+        )
+        self._occupy(bank_key, begin, finish + self.timing.write_to_read)
+        stats = self.stats
+        stats.writes += 1
+        stats.pump_charges += 1
+        stats.write_phases += phases
+        stats.reset_bits += result.reset_bits
+        stats.set_bits += result.set_bits
+        stats.extra_resets += result.extra_resets
+        stats.extra_sets += result.extra_sets
+        stats.reset_energy_j += result.reset_energy
+        stats.set_energy_j += result.set_energy
+        stats.write_latency_sum += duration
+        if self._burst and not self._write_q:
+            # Burst over: banks that parked their reads during the burst
+            # may be idle with nothing scheduled -- wake them all.
+            self._burst = False
+            for key in self._bank_free:
+                if key != bank_key and not self._bank_busy[key]:
+                    self.schedule(
+                        begin, lambda now, k=key: self._dispatch(k, now)
+                    )
+        if self._write_waiters:
+            # A queue slot freed the moment this write left the queue.
+            self._write_waiters.popleft()(begin)
+
+    def _pump_admission(
+        self, pump_key: tuple[int, int], begin: float, resets: int
+    ) -> float:
+        """Earliest time the rank's pump can source ``resets`` more bits.
+
+        Completed phases are retired; while the active phases' RESET
+        currents leave no headroom, the start slips to the next phase
+        completion.
+        """
+        active = self._pump_active[pump_key]
+        budget = max(1, self._reset_budget)
+        while True:
+            active[:] = [(end, r) for end, r in active if end > begin]
+            in_use = sum(r for _, r in active)
+            if in_use + resets <= budget or not active:
+                return begin
+            begin = max(begin, min(end for end, _ in active))
+
+    def _occupy(
+        self, bank_key: tuple[int, int, int], begin: float, until: float
+    ) -> None:
+        self._bank_busy[bank_key] = True
+        self._bank_free[bank_key] = until
+        self.stats.busy_time += until - begin
+
+        def on_free(now: float, key=bank_key) -> None:
+            self._bank_busy[key] = False
+            self._dispatch(key, now)
+
+        self.schedule(until, on_free)

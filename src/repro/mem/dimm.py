@@ -1,0 +1,81 @@
+"""NVDIMM-P geometry and address mapping (§II-C, Fig. 5a).
+
+One channel hosts two ranks; a rank spreads eight 8-bit 4 GB ReRAM
+chips, so each 64B line is striped across all chips of its rank and
+across 64 MATs within them.  Logic banks interleave across the chips;
+the bridge chip [31] translates line addresses and runs Flip-N-Write.
+
+``AddressMapping`` turns a line-aligned physical address into the
+(channel, rank, bank, array-row) coordinates the controller and the
+IR-drop latency tables need.  Array rows are assigned through a mixing
+hash: inter-line wear leveling randomises line placement anyway, so row
+occupancy is uniform — except under SCH scheduling, which deliberately
+maps hot lines to fast (low) rows via the hotness rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MemoryParams
+from ..techniques.sch import scheduled_row
+
+__all__ = ["LineLocation", "AddressMapping"]
+
+
+@dataclass(frozen=True)
+class LineLocation:
+    """Physical placement of one memory line."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int  # MAT row (0..A-1), the DRVR section selector
+
+    @property
+    def global_bank(self) -> tuple[int, int, int]:
+        return (self.channel, self.rank, self.bank)
+
+
+class AddressMapping:
+    """Line address to DIMM coordinates."""
+
+    def __init__(
+        self, memory: MemoryParams, array_rows: int, scheduling: bool = False
+    ) -> None:
+        self.memory = memory
+        self.array_rows = array_rows
+        self.scheduling = scheduling
+
+    def _mix(self, value: int) -> int:
+        """64-bit multiplicative hash (splitmix64 finaliser)."""
+        value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 % (1 << 64)
+        value = (value ^ (value >> 27)) * 0x94D049BB133111EB % (1 << 64)
+        return value ^ (value >> 31)
+
+    def locate(
+        self, address: int, hotness_rank: float | None = None
+    ) -> LineLocation:
+        """Map a byte address to its line's physical coordinates.
+
+        ``hotness_rank`` in [0, 1) steers row placement when SCH
+        scheduling is active (0 = hottest line, fastest row).
+        """
+        if address < 0:
+            raise ValueError(f"address must be >= 0, got {address}")
+        line = address // self.memory.line_bytes
+        channel = line % self.memory.channels
+        line //= self.memory.channels
+        bank = line % self.memory.banks_per_rank
+        line //= self.memory.banks_per_rank
+        rank = line % self.memory.ranks_per_channel
+        line //= self.memory.ranks_per_channel
+        if self.scheduling and hotness_rank is not None:
+            row = scheduled_row(hotness_rank, self.array_rows)
+        else:
+            row = self._mix(line) % self.array_rows
+        return LineLocation(channel=channel, rank=rank, bank=bank, row=row)
+
+    @property
+    def total_banks(self) -> int:
+        return self.memory.total_banks

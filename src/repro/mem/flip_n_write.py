@@ -1,0 +1,95 @@
+"""Flip-N-Write encoding [23] (§II-B).
+
+Flip-N-Write halves the worst-case cell writes of a line update: the
+controller compares the new data with the stored data per word and, when
+more than half the bits of a word would change, stores the word inverted
+(one extra flip bit per word).  Only the differing cells are written.
+
+The model works on 64-byte lines as bit arrays.  ``encode`` returns the
+stored image and flip bits; ``bit_changes`` yields the RESET mask (1->0
+transitions) and SET mask (0->1 transitions) actually applied to the
+cells — the quantities every write-path model downstream consumes
+(Figs. 9 and 14, the lifetime estimator, the energy model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FnwImage", "FlipNWrite"]
+
+
+@dataclass(frozen=True)
+class FnwImage:
+    """Stored representation of a line: cell bits plus per-word flips."""
+
+    cells: np.ndarray  # stored bit per cell (after any inversion)
+    flips: np.ndarray  # one flip bit per word
+
+    def logical_bits(self, word_bits: int) -> np.ndarray:
+        """Recover the logical data from the stored image."""
+        cells = self.cells.reshape(-1, word_bits)
+        return (cells ^ self.flips[:, None]).reshape(-1)
+
+
+class FlipNWrite:
+    """Flip-N-Write codec over fixed-size words."""
+
+    def __init__(self, word_bits: int = 32) -> None:
+        if word_bits < 2:
+            raise ValueError(f"word size must be >= 2 bits, got {word_bits}")
+        self.word_bits = word_bits
+
+    def _check(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=bool)
+        if bits.ndim != 1 or bits.size % self.word_bits:
+            raise ValueError(
+                f"line must be a flat multiple of {self.word_bits} bits"
+            )
+        return bits
+
+    def encode(self, new_bits: np.ndarray, stored: FnwImage) -> FnwImage:
+        """Choose per-word inversion minimising changed cells."""
+        new_bits = self._check(new_bits)
+        words = new_bits.reshape(-1, self.word_bits)
+        old_cells = stored.cells.reshape(-1, self.word_bits)
+        # Candidate stored images: plain or inverted per word.
+        plain_cost = (words != old_cells).sum(axis=1)
+        inverted_cost = (~words != old_cells).sum(axis=1)
+        flips = inverted_cost < plain_cost
+        cells = np.where(flips[:, None], ~words, words)
+        return FnwImage(cells=cells.reshape(-1), flips=flips)
+
+    def initial_image(self, bits: np.ndarray) -> FnwImage:
+        """Stored image of freshly written data (no inversions)."""
+        bits = self._check(bits)
+        return FnwImage(
+            cells=bits.copy(),
+            flips=np.zeros(bits.size // self.word_bits, dtype=bool),
+        )
+
+    def bit_changes(
+        self, stored: FnwImage, new_image: FnwImage
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(RESET mask, SET mask) of the cell writes for this update.
+
+        RESET clears a cell (1 -> 0, writing '0'); SET programs it
+        (0 -> 1).  Unchanged cells are skipped entirely.
+        """
+        old = stored.cells
+        new = new_image.cells
+        if old.shape != new.shape:
+            raise ValueError("image size mismatch")
+        resets = old & ~new
+        sets = ~old & new
+        return resets, sets
+
+    def write(
+        self, new_bits: np.ndarray, stored: FnwImage
+    ) -> tuple[FnwImage, np.ndarray, np.ndarray]:
+        """Encode and diff in one step: (new image, resets, sets)."""
+        new_image = self.encode(new_bits, stored)
+        resets, sets = self.bit_changes(stored, new_image)
+        return new_image, resets, sets

@@ -1,0 +1,170 @@
+"""Mapping a 64-byte line onto its 64 8-bit-wide MATs (§IV-B).
+
+A memory line is striped across 64 cross-point MATs; each MAT stores
+8 consecutive bits of the line through its 8 column-multiplexer groups
+(bit ``k`` of a MAT slice lands in column group ``k``).  The RESET/SET
+masks produced by Flip-N-Write are therefore reshaped to ``(64, 8)``;
+each row is fed to the active scheme's partitioner, and the slowest
+MAT's plan decides the line's RESET-phase latency.
+
+``LineWriteResult`` aggregates everything the memory controller, energy
+model, lifetime estimator and Figs. 9/14 need about one line write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..techniques.base import Scheme, SchemeLatencyModel, WritePlan
+
+__all__ = ["LineWriteResult", "LineWriteModel"]
+
+
+@dataclass
+class LineWriteResult:
+    """Outcome of writing one 64B line under a scheme."""
+
+    plans: list[WritePlan]  # one per MAT (only MATs with activity)
+    reset_bits: int  # data-required RESETs across the line
+    set_bits: int  # data-required SETs
+    extra_resets: int  # added by the partitioner (PR pairs, dummies)
+    extra_sets: int
+    latency: float  # line write latency (slowest MAT, s)
+    reset_latency: float  # RESET-phase share of the latency (s)
+    concurrent_resets: int  # line-wide concurrent RESETs (pump budget)
+    concurrent_sets: int
+    reset_energy: float = 0.0  # array-side RESET energy (J), pre-pump
+    set_energy: float = 0.0
+
+    @property
+    def total_resets(self) -> int:
+        return self.reset_bits + self.extra_resets
+
+    @property
+    def total_sets(self) -> int:
+        return self.set_bits + self.extra_sets
+
+    @property
+    def total_writes(self) -> int:
+        return self.total_resets + self.total_sets
+
+
+class LineWriteModel:
+    """Applies a scheme's partitioner and latency tables to line writes."""
+
+    def __init__(self, config: SystemConfig, scheme: Scheme) -> None:
+        self.config = config
+        self.scheme = scheme
+        self.latency_model = SchemeLatencyModel(config, scheme)
+        self.mats = config.memory.line_bytes  # 64 MATs per 64B line
+        self.width = config.array.data_width
+        # Partitioner plans depend only on the 8-bit mask pair (at most
+        # 3^8 combinations), and latencies additionally on the row --
+        # memoising both makes trace-driven simulation tractable.
+        self._plan_cache: dict[tuple[int, int], WritePlan] = {}
+        self._latency_cache: dict[
+            tuple[int, tuple[int, ...], bool], tuple[float, float]
+        ] = {}
+        self._energy_cache: dict[tuple[int, tuple[int, ...]], float] = {}
+        self._bit_weights = 1 << np.arange(self.width)
+        # Per-(row, group) applied voltage for RESET energy accounting.
+        ir = self.latency_model.ir_model
+        a = config.array.size
+        group_cols = np.arange(self.width) * (a // self.width) + (
+            a // self.width - 1
+        )
+        self._v_matrix = scheme.regulator.matrix(ir)[:, group_cols]
+        self._i_on = config.cell.i_on
+        self._e_set_bit = config.cell.e_set_per_bit
+
+    def _plan_for(self, reset_key: int, set_key: int) -> WritePlan:
+        key = (reset_key, set_key)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            reset_bits = (reset_key & self._bit_weights) > 0
+            set_bits = (set_key & self._bit_weights) > 0
+            plan = self.scheme.partitioner.plan(reset_bits, set_bits)
+            self._plan_cache[key] = plan
+        return plan
+
+    def _latency_for(self, row: int, plan: WritePlan) -> tuple[float, float]:
+        """(full write latency, RESET-phase latency) for one MAT plan."""
+        key = (row, plan.reset_groups, bool(plan.set_groups))
+        cached = self._latency_cache.get(key)
+        if cached is None:
+            reset_phase = self.latency_model.reset_phase_latency(
+                row, plan.reset_groups
+            )
+            cached = (
+                self.latency_model.write_latency(row, plan),
+                reset_phase,
+            )
+            self._latency_cache[key] = cached
+        return cached
+
+    def _reset_energy_for(self, row: int, plan: WritePlan) -> float:
+        """Array-side RESET energy: each bit conducts Ion at its level
+        for its own RESET duration (Equation 1 latency)."""
+        if not plan.reset_groups:
+            return 0.0
+        key = (row, plan.reset_groups)
+        energy = self._energy_cache.get(key)
+        if energy is None:
+            groups = list(plan.reset_groups)
+            n = len(groups)
+            durations = self.latency_model.table[n - 1, row, groups]
+            voltages = self._v_matrix[row, groups]
+            energy = float(np.sum(voltages * self._i_on * durations))
+            self._energy_cache[key] = energy
+        return energy
+
+    def write(
+        self, resets: np.ndarray, sets: np.ndarray, row: int
+    ) -> LineWriteResult:
+        """Plan and time a line write.
+
+        ``resets`` / ``sets`` are the Flip-N-Write cell masks of the
+        whole line (``mats * width`` bits); ``row`` is the MAT row the
+        line occupies (all MATs of a line share the row).
+        """
+        resets = np.asarray(resets, dtype=bool).reshape(self.mats, self.width)
+        sets = np.asarray(sets, dtype=bool).reshape(self.mats, self.width)
+        reset_keys = resets @ self._bit_weights
+        set_keys = sets @ self._bit_weights
+        plans: list[WritePlan] = []
+        latency = 0.0
+        reset_latency = 0.0
+        extra_resets = 0
+        extra_sets = 0
+        concurrent_resets = 0
+        concurrent_sets = 0
+        reset_energy = 0.0
+        set_energy = 0.0
+        for mat in np.flatnonzero(reset_keys | set_keys):
+            plan = self._plan_for(int(reset_keys[mat]), int(set_keys[mat]))
+            plans.append(plan)
+            total, reset_phase = self._latency_for(row, plan)
+            latency = max(latency, total)
+            reset_latency = max(reset_latency, reset_phase)
+            extra_resets += plan.extra_resets
+            extra_sets += plan.extra_sets
+            concurrent_resets += len(plan.reset_groups)
+            concurrent_sets += len(plan.set_groups)
+            reset_energy += self._reset_energy_for(row, plan)
+            set_energy += len(plan.set_groups) * self._e_set_bit
+        return LineWriteResult(
+            plans=plans,
+            reset_bits=int(resets.sum()),
+            set_bits=int(sets.sum()),
+            extra_resets=extra_resets,
+            extra_sets=extra_sets,
+            latency=latency,
+            reset_latency=reset_latency,
+            concurrent_resets=concurrent_resets,
+            concurrent_sets=concurrent_sets,
+            reset_energy=reset_energy,
+            set_energy=set_energy,
+        )

@@ -1,0 +1,44 @@
+"""Memory timing derivation (Table III).
+
+Collects the DDR4-NVDIMM-P-style timing parameters into the composite
+latencies the controller schedules with: the read service time of a
+bank, the bus transfer time of a 64B line, and the controller-to-bank
+command flight time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CpuParams, MemoryParams
+
+__all__ = ["MemoryTiming"]
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """Composite service times (seconds) derived from Table III."""
+
+    mc_to_bank: float  # command flight time, MC to bank
+    read_service: float  # bank occupancy of one read (tRCD + tCL)
+    bus_transfer: float  # 64B over the 64-bit channel
+    write_to_read: float  # tWTR turnaround
+    write_command: float  # tCWD command-to-data for writes
+
+    @classmethod
+    def from_params(cls, memory: MemoryParams, cpu: CpuParams) -> "MemoryTiming":
+        cycle = cpu.cycle_s
+        beats = memory.line_bytes / 8  # 64-bit channel: 8 bytes per beat
+        bus_transfer = beats / (memory.bus_mhz * 1e6 * 2)  # DDR: 2 beats/cycle
+        return cls(
+            mc_to_bank=memory.mc_to_bank_cycles * cycle,
+            read_service=memory.t_rcd + memory.t_cl,
+            bus_transfer=bus_transfer,
+            write_to_read=memory.t_wtr,
+            write_command=memory.t_cwd,
+        )
+
+    @property
+    def read_latency(self) -> float:
+        """Unloaded read latency seen by the requester."""
+        return self.mc_to_bank + self.read_service + self.bus_transfer

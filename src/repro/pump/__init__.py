@@ -1,0 +1,14 @@
+"""Charge pump substrate: output-voltage boosting, current budgets,
+charging latency/energy, and UDRVR's variable resistor arrays."""
+
+from .charge_pump import ChargePumpModel, PumpBudget
+from .vra import VRA_AREA_M2, VRA_ENERGY_J, VRA_LATENCY_S, VariableResistorArray
+
+__all__ = [
+    "ChargePumpModel",
+    "PumpBudget",
+    "VariableResistorArray",
+    "VRA_AREA_M2",
+    "VRA_ENERGY_J",
+    "VRA_LATENCY_S",
+]

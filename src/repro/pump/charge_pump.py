@@ -1,0 +1,132 @@
+"""On-chip charge pump model (§II-C, Table III, after [29]).
+
+ReRAM write voltages (3 V, or up to ~3.94 V with UDRVR variants) exceed
+the 1.8 V supply, so every chip hosts a switched-capacitor charge pump.
+The pump constrains the memory system three ways:
+
+* a **current budget** — 23 mA at 3 V for RESETs / 25 mA for SETs,
+  enough for 256 concurrent bit operations (one worst-case 64B line
+  write per phase with Flip-N-Write).  Schemes that add operations
+  (D-BL's dummy resets) can exceed the budget and must serialise;
+* a **charging latency/energy** — 28 ns and 17.8 nJ before a RESET
+  phase can fire (21 ns / 13.1 nJ to discharge);
+* **area and leakage** — 19.3 mm² (11% of a 4 GB chip) and 62.2 mW for
+  the single-stage baseline; UDRVR's extra stage and VRAs grow it by a
+  third (§IV-D).
+
+The model is deliberately behavioural: the quantities above are the
+interface the memory controller and the energy model consume, and they
+are calibrated to the published silicon numbers rather than derived from
+stage capacitances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PumpParams, SystemConfig
+from ..techniques.base import ChipOverheads
+
+__all__ = ["PumpBudget", "ChargePumpModel"]
+
+
+@dataclass(frozen=True)
+class PumpBudget:
+    """How many concurrent bit operations one phase can drive."""
+
+    max_concurrent_resets: int
+    max_concurrent_sets: int
+
+    def reset_phases_needed(self, resets: int) -> int:
+        """Phases required to retire ``resets`` concurrent RESETs."""
+        if resets <= 0:
+            return 0
+        return -(-resets // self.max_concurrent_resets)
+
+    def set_phases_needed(self, sets: int) -> int:
+        if sets <= 0:
+            return 0
+        return -(-sets // self.max_concurrent_sets)
+
+
+class ChargePumpModel:
+    """Charge pump behaviour under a mitigation scheme's overheads."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        overheads: ChipOverheads | None = None,
+        output_voltage: float | None = None,
+    ) -> None:
+        self.params: PumpParams = config.pump
+        self.overheads = overheads or ChipOverheads()
+        self._v_out = output_voltage
+
+    # -- electrical ------------------------------------------------------------
+
+    @property
+    def output_voltage(self) -> float:
+        """Pump output voltage (V); the regulator's maximum level."""
+        if self._v_out is not None:
+            return self._v_out
+        return self.params.v_out
+
+    @property
+    def current_budget_reset(self) -> float:
+        """Total RESET current (A) the pump can source per phase."""
+        return self.params.i_reset_budget * self.overheads.write_current_factor
+
+    @property
+    def current_budget_set(self) -> float:
+        return self.params.i_set_budget * self.overheads.write_current_factor
+
+    def budget(self, i_reset_bit: float, i_set_bit: float) -> PumpBudget:
+        """Concurrent-operation budget for given per-bit currents."""
+        if i_reset_bit <= 0 or i_set_bit <= 0:
+            raise ValueError("per-bit currents must be positive")
+        return PumpBudget(
+            max_concurrent_resets=max(
+                1, int(self.current_budget_reset / i_reset_bit)
+            ),
+            max_concurrent_sets=max(1, int(self.current_budget_set / i_set_bit)),
+        )
+
+    # -- timing and energy -------------------------------------------------------
+
+    @property
+    def charge_latency(self) -> float:
+        """Time (s) to charge the pump before a write phase."""
+        return self.params.t_charge * self.overheads.pump_charge_latency_factor
+
+    @property
+    def discharge_latency(self) -> float:
+        return self.params.t_discharge
+
+    @property
+    def charge_energy(self) -> float:
+        """Energy (J) of one pump charge cycle."""
+        return self.params.e_charge * self.overheads.pump_charge_energy_factor
+
+    @property
+    def discharge_energy(self) -> float:
+        return self.params.e_discharge
+
+    def write_energy(self, bit_energy: float) -> float:
+        """Wall-plug energy for ``bit_energy`` joules delivered at Vout.
+
+        The pump's conversion efficiency (33%) multiplies everything the
+        array draws during write phases.
+        """
+        if bit_energy < 0:
+            raise ValueError(f"bit energy must be >= 0, got {bit_energy}")
+        return bit_energy / self.params.efficiency
+
+    # -- cost -----------------------------------------------------------------
+
+    @property
+    def area_mm2(self) -> float:
+        return self.params.area_mm2 * self.overheads.pump_area_factor
+
+    @property
+    def leakage_w(self) -> float:
+        return self.params.leakage_w * self.overheads.pump_leakage_factor

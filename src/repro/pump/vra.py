@@ -1,0 +1,75 @@
+"""Variable resistor array (VRA) — UDRVR's level generator (Fig. 12b).
+
+The UDRVR charge pump carries eight VRAs, one per bank.  Each VRA turns
+the pump output into eight Vrst levels: a programmable resistor selected
+by ``R[0:7]`` sets the level ``Vout0`` of the right-most column
+multiplexer, and a chain of seven fixed resistors derives the remaining
+seven (lower) levels for the other multiplexers.
+
+Synthesised at 45 nm the decoders and VRAs occupy 66.2 um² (about the
+area of 1 KB of ReRAM cells) and generating the eight levels takes
+2.7 ns and 1.82 pJ per VRA (§IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import ns, pJ, um2
+
+__all__ = ["VariableResistorArray", "VRA_AREA_M2", "VRA_LATENCY_S", "VRA_ENERGY_J"]
+
+VRA_AREA_M2 = um2(66.2)
+"""Total synthesised area of UDRVR's decoders and VRAs (§IV-D)."""
+
+VRA_LATENCY_S = ns(2.7)
+"""Time for one VRA to produce its eight Vrst levels."""
+
+VRA_ENERGY_J = pJ(1.82)
+"""Energy of one level-generation cycle."""
+
+
+@dataclass(frozen=True)
+class VariableResistorArray:
+    """Maps a pump output voltage to per-column-multiplexer levels.
+
+    ``levels`` are the target Vrst values, highest first matching
+    ``Vout0`` of Fig. 12b (the right-most multiplexer).  The resistor
+    chain can only *divide* the pump output, so every level must lie at
+    or below it.
+    """
+
+    pump_voltage: float
+    levels: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("a VRA must produce at least one level")
+        if any(v <= 0 for v in self.levels):
+            raise ValueError("levels must be positive")
+        if max(self.levels) > self.pump_voltage + 1e-9:
+            raise ValueError(
+                f"level {max(self.levels):.3f} V exceeds pump output "
+                f"{self.pump_voltage:.3f} V"
+            )
+
+    @classmethod
+    def for_levels(cls, levels: "tuple[float, ...] | np.ndarray") -> "VariableResistorArray":
+        """Build a VRA whose pump voltage is the highest needed level."""
+        values = tuple(float(v) for v in levels)
+        return cls(pump_voltage=max(values), levels=values)
+
+    @property
+    def resistor_ratios(self) -> tuple[float, ...]:
+        """Divider ratios (level / pump output) realised by the chain."""
+        return tuple(v / self.pump_voltage for v in self.levels)
+
+    def level_for_mux(self, mux: int) -> float:
+        """Vrst level of column multiplexer ``mux`` (0 = right-most)."""
+        if not 0 <= mux < len(self.levels):
+            raise ValueError(
+                f"mux index {mux} outside 0..{len(self.levels) - 1}"
+            )
+        return self.levels[mux]

@@ -1,0 +1,45 @@
+"""Baseline and naive static-voltage schemes (§III / §IV-A).
+
+* ``make_baseline`` — the unmodified 512x512 array: one static 3 V
+  RESET level, V/2 half-select biasing, Flip-N-Write.  Its worst-case
+  array RESET latency is ~2.3 us (Fig. 4c), which is what every
+  mitigation technique is trying to fix.
+* ``make_naive_high_voltage`` — the strawman of Fig. 6a: statically
+  applying 3.7 V everywhere compensates the worst corner but over-RESETs
+  the low-drop cells (1.5K-5K write endurance), collapsing the system
+  lifetime to under a day (Fig. 5b).
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from .base import Scheme, StaticRegulator
+
+__all__ = ["make_baseline", "make_naive_high_voltage", "NAIVE_HIGH_VOLTAGE"]
+
+NAIVE_HIGH_VOLTAGE = 3.7
+"""The static over-drive voltage analysed in Fig. 6a."""
+
+
+def make_baseline(config: SystemConfig) -> Scheme:
+    """The unmodified cross-point array baseline."""
+    return Scheme(
+        name="Base",
+        regulator=StaticRegulator(config.cell.v_reset),
+        description="static Vrst, V/2 biasing, Flip-N-Write",
+    )
+
+
+def make_naive_high_voltage(
+    config: SystemConfig, voltage: float = NAIVE_HIGH_VOLTAGE
+) -> Scheme:
+    """Static over-drive: fast but destroys low-drop cell endurance."""
+    if voltage <= config.cell.v_reset:
+        raise ValueError(
+            f"naive over-drive must exceed Vrst={config.cell.v_reset}, got {voltage}"
+        )
+    return Scheme(
+        name=f"Static-{voltage:.2g}V",
+        regulator=StaticRegulator(voltage),
+        description="naive static over-drive (over-RESETs low-drop cells)",
+    )

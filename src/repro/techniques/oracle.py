@@ -1,0 +1,38 @@
+"""Oracle configurations ``ora-m×m`` (§III-C, §VI).
+
+``ora-m×m`` makes a full-size array behave, drop-wise, like an m×m
+array: ideal drive contacts are assumed at the first cell of every
+m-cell section of the selected BL (at Vrst) and ideal grounds at the
+first cell of every m-cell section of the selected WL.  It is the
+normalisation reference of Fig. 5c and Fig. 15 (``ora-64×64``) and
+physically corresponds to building the memory out of m×m arrays, which
+would cost +76% chip area for m = 64 (§VI).
+"""
+
+from __future__ import annotations
+
+from ..circuit.crosspoint import BiasScheme
+from ..config import SystemConfig
+from .base import Scheme
+
+__all__ = ["oracle_bias", "make_oracle"]
+
+
+def oracle_bias(m: int) -> BiasScheme:
+    """Bias scheme with ideal taps every ``m`` cells on both line types."""
+    if m < 1:
+        raise ValueError(f"oracle section size must be >= 1, got {m}")
+    return BiasScheme(name=f"ora-{m}x{m}", wl_tap_every=m, bl_tap_every=m)
+
+
+def make_oracle(config: SystemConfig, m: int) -> Scheme:
+    """The ``ora-m×m`` oracle scheme."""
+    if config.array.size % m:
+        raise ValueError(
+            f"oracle section {m} must divide the array size {config.array.size}"
+        )
+    return Scheme(
+        name=f"ora-{m}x{m}",
+        bias=oracle_bias(m),
+        description=f"oracle: drop of an {m}x{m} array inside the full array",
+    )

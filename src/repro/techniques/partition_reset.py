@@ -1,0 +1,88 @@
+"""Partition RESET (PR) — Algorithm 1 of the paper.
+
+PR inspects the Flip-N-Write RESET vector of each MAT's 8-bit write
+slice.  If no RESET is required among the last five bits (column groups
+3..7), the slice is left alone: the first three BL groups sit close to
+the row decoder, suffer little WL drop, and reset fast.  Otherwise PR
+walks the four 2-bit groups from the group containing the last required
+RESET down to group 0, and inserts a benign RESET (immediately
+compensated by a SET of the same cell in the following SET phase) into
+every 2-bit group that has none — so the write resets roughly one bit
+per 2-bit group, partitioning the array into ~4 equivalent circuits,
+the sweet spot of Fig. 11a.
+
+Because PR must know the final bit values before the RESET phase, it
+runs the RESET phase first and the SET phase second (Fig. 10), unlike
+the baseline SET-then-RESET order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Partitioner, WritePlan
+
+__all__ = ["PartitionResetPartitioner", "PR_TRIGGER_START", "PR_GROUP_SIZE"]
+
+PR_TRIGGER_START = 3
+"""First bit index of the trigger window: a RESET at or beyond this
+column group activates PR for the slice (the paper's "last 5 bits")."""
+
+PR_GROUP_SIZE = 2
+"""Bits per partition group; PR guarantees one RESET per group."""
+
+
+class PartitionResetPartitioner(Partitioner):
+    """Algorithm 1: decide how many and which cells to reset."""
+
+    def __init__(
+        self,
+        trigger_start: int = PR_TRIGGER_START,
+        group_size: int = PR_GROUP_SIZE,
+    ) -> None:
+        if trigger_start < 0:
+            raise ValueError(f"trigger_start must be >= 0, got {trigger_start}")
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        self.trigger_start = trigger_start
+        self.group_size = group_size
+
+    def plan(self, reset_bits: np.ndarray, set_bits: np.ndarray) -> WritePlan:
+        reset_bits = np.asarray(reset_bits, dtype=bool).copy()
+        set_bits = np.asarray(set_bits, dtype=bool).copy()
+        width = reset_bits.size
+        if set_bits.size != width:
+            raise ValueError("reset and set masks must have equal width")
+        if np.any(reset_bits & set_bits):
+            raise ValueError("a bit cannot be both RESET and SET in one write")
+
+        extra_resets = 0
+        extra_sets = 0
+        required = np.flatnonzero(reset_bits)
+        if required.size and required[-1] >= self.trigger_start:
+            # Walk 2-bit groups from the last required RESET towards bit 0
+            # (Algorithm 1 lines 4-8): L rounded down to its group start.
+            last = int(required[-1])
+            group_start = last - last % self.group_size
+            for start in range(group_start, -1, -self.group_size):
+                group = slice(start, start + self.group_size)
+                if not reset_bits[group].any():
+                    # Add a benign RESET on the group's last bit, offset by
+                    # a SET of the same cell in the SET phase (lines 7-8).
+                    benign = min(start + self.group_size - 1, width - 1)
+                    reset_bits[benign] = True
+                    extra_resets += 1
+                    if not set_bits[benign]:
+                        # The cell was not being SET anyway; the
+                        # compensating SET is an extra operation too.
+                        set_bits[benign] = True
+                        extra_sets += 1
+
+        reset_groups = tuple(int(i) for i in np.flatnonzero(reset_bits))
+        set_groups = tuple(int(i) for i in np.flatnonzero(set_bits))
+        return WritePlan(
+            reset_groups=reset_groups,
+            set_groups=set_groups,
+            extra_resets=extra_resets,
+            extra_sets=extra_sets,
+        )

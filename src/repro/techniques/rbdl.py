@@ -1,0 +1,45 @@
+"""Row-biased data layout (RBDL [15], Table II).
+
+The sneak current — and therefore the voltage drop — of a bit-line
+depends on how many LRS (low-resistance, logic '1') cells hang off it.
+RBDL row-shifts data so LRS cells spread evenly over all BLs, lowering
+the worst BL's drop from the all-LRS worst case toward the average-data
+case.  The catch (§III-B): intra-line wear leveling randomly shifts the
+write-intensive words of a line across the WL, destroying the layout —
+so RBDL is also incompatible with wear leveling.
+
+We model RBDL as a reduction of the worst-case half-select leakage: the
+baseline analysis pessimistically assumes every cell is LRS
+(``sneak_boost`` calibrated to that case); with RBDL the expected LRS
+share on the worst BL drops to ~50-60%, scaling the leakage by
+``RBDL_SNEAK_SCALE``.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from .base import Scheme
+
+__all__ = ["RBDL_SNEAK_SCALE", "make_rbdl", "rbdl_config"]
+
+RBDL_SNEAK_SCALE = 0.6
+"""Worst-BL leakage relative to the all-LRS assumption under RBDL."""
+
+
+def rbdl_config(config: SystemConfig) -> SystemConfig:
+    """Derive the array configuration seen under RBDL's data layout."""
+    return config.with_array(
+        sneak_boost=config.array.sneak_boost * RBDL_SNEAK_SCALE
+    )
+
+
+def make_rbdl(config: SystemConfig) -> Scheme:
+    """Row-biased data layout (incompatible with intra-line wear leveling)."""
+    return Scheme(
+        name="RBDL",
+        row_biased_layout=True,
+        wear_leveling_compatible=False,
+        sneak_scale=RBDL_SNEAK_SCALE,
+        maintenance_write_rate=0.1,
+        description="LRS cells spread evenly over BLs by row shifting",
+    )

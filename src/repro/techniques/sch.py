@@ -1,0 +1,45 @@
+"""Latency-aware scheduling (SCH [13, 14], Table II).
+
+Different rows of a cross-point array have different RESET latencies
+(Fig. 4c): rows near the write driver reset fast.  SCH remaps
+write-intensive memory lines onto the fast rows.  The catch (§III-B):
+inter-line wear leveling deliberately spreads hot lines over the whole
+array, so SCH and wear leveling cannot coexist — enabling SCH forfeits
+the >10-year lifetime guarantee (Fig. 5b, "Hard+Sys" fails in days).
+
+In this model SCH is a scheme *flag* plus a hotness-to-row mapping the
+memory system uses when translating line addresses to array rows: hot
+lines land in the fastest (lowest) row sections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SystemConfig
+from .base import Scheme
+
+__all__ = ["make_sch", "scheduled_row"]
+
+
+def scheduled_row(hotness_rank: float, array_size: int) -> int:
+    """Map a line's write-hotness rank in [0, 1) to an array row.
+
+    Rank 0 (hottest) lands on row 0 (fastest, nearest the WD); rank ~1
+    (coldest) on the top row.  With scheduling disabled, rows are
+    assigned uniformly by the wear-leveled address instead.
+    """
+    if not 0.0 <= hotness_rank < 1.0:
+        raise ValueError(f"hotness rank must be in [0, 1), got {hotness_rank}")
+    return int(np.floor(hotness_rank * array_size))
+
+
+def make_sch(config: SystemConfig) -> Scheme:
+    """Latency-aware write scheduling (incompatible with wear leveling)."""
+    return Scheme(
+        name="SCH",
+        scheduling=True,
+        wear_leveling_compatible=False,
+        maintenance_write_rate=0.15,
+        description="write-intensive lines remapped to fast rows",
+    )

@@ -1,0 +1,101 @@
+"""Composite schemes and the evaluation registry (§VI).
+
+The paper evaluates stacks of prior techniques against its own:
+
+* ``Hard`` — all three hardware baselines at once: DSGB grounds, DSWD
+  drivers and D-BL forced full-width RESETs.  Makes a 512x512 array
+  behave roughly like a 100x256 one, at +59% chip area and +80%
+  leakage.
+* ``Hard+Sys`` — ``Hard`` plus SCH scheduling and RBDL layout; closer
+  to ora-128x128 but incompatible with wear leveling (lifetime collapses
+  to days, Fig. 5b).
+* ``DRVR``, ``UDRVR+PR``, ``UDRVR-3.94`` — this paper's techniques.
+* ``ora-m×m`` — the oracle normalisation references.
+
+``standard_schemes`` builds the full dictionary used by the figure
+drivers (Figs. 5c, 15-20).
+"""
+
+from __future__ import annotations
+
+from ..circuit.crosspoint import BiasScheme
+from ..config import SystemConfig
+from .base import Scheme
+from .baseline import make_baseline, make_naive_high_voltage
+from .drvr import make_drvr
+from .dsgb import DSGB_OVERHEADS
+from .dswd import DSWD_OVERHEADS
+from .dummy_bl import DBL_OVERHEADS, DummyBitlinePartitioner
+from .oracle import make_oracle
+from .rbdl import RBDL_SNEAK_SCALE
+from .udrvr import make_udrvr_high_voltage, make_udrvr_pr
+
+__all__ = ["make_hard", "make_hard_sys", "make_drvr_pr", "standard_schemes"]
+
+_HARD_BIAS = BiasScheme(
+    name="hard", wl_ground_both_ends=True, bl_drive_both_ends=True
+)
+_HARD_OVERHEADS = DSGB_OVERHEADS.combine(DSWD_OVERHEADS).combine(DBL_OVERHEADS)
+
+
+def make_hard(config: SystemConfig) -> Scheme:
+    """DSGB + DSWD + D-BL applied together."""
+    return Scheme(
+        name="Hard",
+        bias=_HARD_BIAS,
+        partitioner=DummyBitlinePartitioner(),
+        overheads=_HARD_OVERHEADS,
+        description="all hardware baselines: DSGB + DSWD + D-BL",
+    )
+
+
+def make_hard_sys(config: SystemConfig) -> Scheme:
+    """Hard plus the system baselines SCH and RBDL."""
+    return Scheme(
+        name="Hard+Sys",
+        bias=_HARD_BIAS,
+        partitioner=DummyBitlinePartitioner(),
+        overheads=_HARD_OVERHEADS,
+        scheduling=True,
+        row_biased_layout=True,
+        wear_leveling_compatible=False,
+        sneak_scale=RBDL_SNEAK_SCALE,
+        maintenance_write_rate=0.2,
+        description="Hard + SCH scheduling + RBDL data layout",
+    )
+
+
+def make_drvr_pr(config: SystemConfig) -> Scheme:
+    """DRVR + PR without the UDRVR endurance fix (§IV-B's waypoint)."""
+    from dataclasses import replace
+
+    from .partition_reset import PartitionResetPartitioner
+
+    return replace(
+        make_drvr(config),
+        name="DRVR+PR",
+        partitioner=PartitionResetPartitioner(),
+        reset_before_set=True,
+        description="DRVR voltage levels with partition RESET (no UDRVR)",
+    )
+
+
+def standard_schemes(
+    config: SystemConfig, oracle_sections: tuple[int, ...] = (64, 128, 256)
+) -> dict[str, Scheme]:
+    """All schemes the evaluation section compares (name -> scheme)."""
+    schemes = {
+        "Base": make_baseline(config),
+        "Hard": make_hard(config),
+        "Hard+Sys": make_hard_sys(config),
+        "DRVR": make_drvr(config),
+        "DRVR+PR": make_drvr_pr(config),
+        "UDRVR+PR": make_udrvr_pr(config),
+        "UDRVR-3.94": make_udrvr_high_voltage(config),
+        f"Static-{3.7:.2g}V": make_naive_high_voltage(config),
+    }
+    for m in oracle_sections:
+        if config.array.size % m == 0 and m <= config.array.size:
+            scheme = make_oracle(config, m)
+            schemes[scheme.name] = scheme
+    return schemes

@@ -1,0 +1,110 @@
+"""Upgraded DRVR (UDRVR, §IV-C) and its combination with PR.
+
+DRVR + PR shorten the array RESET latency so much that, under the
+worst-case non-stop write traffic, the fast low-drop cells near the row
+decoder wear out within a year.  UDRVR adds a variable-resistor array
+(VRA) on the charge pump output that supplies a *lower* Vrst level to
+each column-multiplexer group in proportion to the WL drop the group
+does *not* suffer — pushing every cell's effective voltage toward that
+of the right-most BL, equalising latency (the array budget is unchanged)
+while raising the endurance of the left-most BLs, the array bottleneck.
+
+Both UDRVR variants aim at the same effective-voltage target: the
+right-most BL under PR's optimal concurrency (≈71 ns for the 20 nm
+baseline).  UDRVR+PR reaches it by partitioning; UDRVR-3.94 (Fig. 17)
+reaches it for *1-bit* RESETs purely with voltage — which requires a
+taller pump (the far group must compensate the full 1-bit WL drop,
+3.66 V + ~0.28 V ≈ 3.94 V) and leaves 3-6 bit RESETs exposed to the
+coalesced-current drop on the near groups, exactly the failure mode the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..xpoint.vmap import ArrayIRModel, get_ir_model
+from .base import ChipOverheads, MatrixRegulator, Scheme
+from .drvr import DRVR_OVERHEADS, drvr_levels
+from .partition_reset import PartitionResetPartitioner
+
+__all__ = [
+    "udrvr_col_deltas",
+    "make_udrvr_pr",
+    "make_udrvr_high_voltage",
+]
+
+# Fig. 17 discussion: the 3.94 V pump costs more than the UDRVR+PR pump.
+_HIGH_V_EXTRA = ChipOverheads(
+    pump_area_factor=1.23,
+    pump_leakage_factor=1.155,
+    pump_charge_latency_factor=1.034,
+    pump_charge_energy_factor=1.041,
+)
+
+
+def _group_far_columns(model: ArrayIRModel) -> np.ndarray:
+    """Far (worst) column of each column-multiplexer group."""
+    a = model.config.array.size
+    width = model.config.array.data_width
+    return np.arange(width) * (a // width) + (a // width - 1)
+
+
+def udrvr_col_deltas(
+    config: SystemConfig,
+    compensate_n_bits: int | None = None,
+    target_n_bits: int | None = None,
+) -> tuple[float, ...]:
+    """Per-column-group Vrst adjustments (V).
+
+    Group ``m``'s level is shifted by the difference between its own WL
+    drop at its operating concurrency and the far group's drop at
+    ``target_n_bits`` (the common effective-voltage target, PR's optimum
+    by default).
+
+    The operating concurrency is ``compensate_n_bits``: PR's optimum by
+    default, so UDRVR's deltas are non-positive (near groups are
+    lowered, curing their over-RESET) and the pump output stays at
+    DRVR's 3.66 V.  UDRVR-3.94 compensates the 1-bit drop everywhere
+    instead, which pushes the far group's level up to ~3.94 V.
+    """
+    model = get_ir_model(config)
+    wl = model.wl_model
+    width = config.array.data_width
+    if target_n_bits is None:
+        target_n_bits = wl.optimal_bits()
+    if compensate_n_bits is None:
+        compensate_n_bits = target_n_bits
+    far_cols = _group_far_columns(model)
+    target_drop = float(wl.drop(int(far_cols[-1]), target_n_bits))
+    drops = np.asarray(
+        [wl.drop(int(c), compensate_n_bits) for c in far_cols]
+    )
+    return tuple(float(d - target_drop) for d in drops)
+
+
+def make_udrvr_pr(config: SystemConfig) -> Scheme:
+    """UDRVR + PR: the paper's headline scheme."""
+    row_levels = drvr_levels(config)
+    col_deltas = udrvr_col_deltas(config)
+    return Scheme(
+        name="UDRVR+PR",
+        regulator=MatrixRegulator(tuple(row_levels), col_deltas),
+        partitioner=PartitionResetPartitioner(),
+        overheads=DRVR_OVERHEADS,
+        reset_before_set=True,
+        description="upgraded DRVR (per-column Vrst levels) with partition RESET",
+    )
+
+
+def make_udrvr_high_voltage(config: SystemConfig) -> Scheme:
+    """UDRVR-3.94 (Fig. 17): voltage-only WL compensation, no PR."""
+    row_levels = drvr_levels(config)
+    col_deltas = udrvr_col_deltas(config, compensate_n_bits=1)
+    return Scheme(
+        name="UDRVR-3.94",
+        regulator=MatrixRegulator(tuple(row_levels), col_deltas),
+        overheads=DRVR_OVERHEADS.combine(_HIGH_V_EXTRA),
+        description="UDRVR with 1-bit WL compensation by voltage only",
+    )

@@ -1,0 +1,93 @@
+"""Physical unit helpers and constants.
+
+All internal computation uses SI base units (volts, amperes, ohms,
+seconds, joules, watts, square metres).  The helpers below exist so that
+configuration code can state values in the units the paper uses
+(microamps, nanoseconds, picojoules, ...) without sprinkling powers of
+ten through the code.
+"""
+
+from __future__ import annotations
+
+# -- scale factors -----------------------------------------------------------
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+
+
+def uA(value: float) -> float:
+    """Microamps to amps."""
+    return value * MICRO
+
+
+def mA(value: float) -> float:
+    """Milliamps to amps."""
+    return value * MILLI
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * NANO
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * MICRO
+
+
+def pJ(value: float) -> float:
+    """Picojoules to joules."""
+    return value * PICO
+
+
+def nJ(value: float) -> float:
+    """Nanojoules to joules."""
+    return value * NANO
+
+
+def mW(value: float) -> float:
+    """Milliwatts to watts."""
+    return value * MILLI
+
+
+def mm2(value: float) -> float:
+    """Square millimetres to square metres."""
+    return value * 1e-6
+
+
+def um2(value: float) -> float:
+    """Square micrometres to square metres."""
+    return value * 1e-12
+
+
+def to_ns(seconds: float) -> float:
+    """Seconds to nanoseconds (for reporting)."""
+    return seconds / NANO
+
+
+def to_us(seconds: float) -> float:
+    """Seconds to microseconds (for reporting)."""
+    return seconds / MICRO
+
+
+def to_years(seconds: float) -> float:
+    """Seconds to years (for lifetime reporting)."""
+    return seconds / SECONDS_PER_YEAR
+
+
+def to_days(seconds: float) -> float:
+    """Seconds to days (for lifetime reporting)."""
+    return seconds / SECONDS_PER_DAY
+
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_YEAR = 365.25 * SECONDS_PER_DAY
+
+BYTES_PER_GB = 1 << 30

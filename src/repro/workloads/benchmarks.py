@@ -1,0 +1,179 @@
+"""The simulated benchmark suite (Table IV).
+
+Each entry reproduces one multi-programmed workload of the paper: eight
+copies of a SPEC-CPU2006 / BioBench program (or the two mixes).  The
+RPKI/WPKI columns are taken verbatim from Table IV; the remaining knobs
+— working-set size, popularity skew, spatial run length, and the write
+data-pattern statistics — are not published, so they are chosen to
+reproduce the paper's qualitative characterisations:
+
+* ``mcf`` and ``xalancbmk`` are the most write-bound (largest gains in
+  Fig. 15); ``milc``, ``zeusmp`` and ``tigr`` have light write traffic
+  (smallest gains);
+* ``zeusmp`` writes modify ~30% of a line's cells (§VI), the suite
+  average is ~10% (Fig. 14);
+* ``xalancbmk`` is the only program where 7/8-bit MAT RESETs are not
+  rare (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .datapatterns import PatternParams
+from .synthetic import StreamParams
+
+__all__ = ["BenchmarkSpec", "benchmark_suite", "get_benchmark", "CORES"]
+
+CORES = 8
+
+_MB = (1 << 20) // 64  # lines per megabyte
+
+
+@dataclass(frozen=True)
+class _Program:
+    """One constituent program of a multi-programmed workload."""
+
+    rpki: float
+    wpki: float
+    working_set_mb: int
+    zipf_alpha: float
+    run_length: float
+    changed_fraction: float
+    in_word_change: float = 0.4
+
+
+# SPEC-CPU2006 (C.) and BioBench (B.) programs used by Table IV.  The
+# popularity skew (zipf_alpha) sets how much of each program's write
+# traffic the 32 MB/core DRAM L3 absorbs, and is tuned so the baseline's
+# slowdown against ora-64x64 matches Fig. 15's per-benchmark spread.
+_PROGRAMS: dict[str, _Program] = {
+    "astar": _Program(2.76, 1.34, 96, 1.15, 2.0, 0.08),
+    "gemsFDTD": _Program(1.23, 1.13, 192, 1.25, 8.0, 0.12),
+    "lbm": _Program(3.64, 1.88, 384, 1.15, 16.0, 0.10),
+    "mcf": _Program(4.29, 3.89, 512, 1.25, 2.0, 0.09),
+    "milc": _Program(1.69, 0.71, 128, 1.3, 6.0, 0.07),
+    "xalancbmk": _Program(1.36, 1.22, 96, 1.0, 2.0, 0.16, in_word_change=0.8),
+    "zeusmp": _Program(0.64, 0.47, 64, 1.15, 8.0, 0.30, in_word_change=0.6),
+    "mummer": _Program(3.48, 1.13, 256, 1.3, 12.0, 0.06),
+    "tigr": _Program(5.07, 0.42, 320, 1.35, 12.0, 0.05),
+}
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A multi-programmed workload: one stream + pattern per core."""
+
+    name: str
+    description: str
+    streams: tuple[StreamParams, ...]
+    patterns: tuple[PatternParams, ...]
+
+    @property
+    def cores(self) -> int:
+        return len(self.streams)
+
+
+def _stream(program: _Program, core: int) -> StreamParams:
+    return StreamParams(
+        rpki=program.rpki,
+        wpki=program.wpki,
+        working_set_lines=program.working_set_mb * _MB,
+        zipf_alpha=program.zipf_alpha,
+        run_length=program.run_length,
+        address_base=core << 40,  # disjoint address spaces per program copy
+    )
+
+
+def _pattern(program: _Program) -> PatternParams:
+    return PatternParams(
+        changed_fraction=program.changed_fraction,
+        in_word_change=program.in_word_change,
+    )
+
+
+def _homogeneous(name: str, program_key: str, description: str) -> BenchmarkSpec:
+    program = _PROGRAMS[program_key]
+    return BenchmarkSpec(
+        name=name,
+        description=description,
+        streams=tuple(_stream(program, core) for core in range(CORES)),
+        patterns=tuple(_pattern(program) for _ in range(CORES)),
+    )
+
+
+def _mix(name: str, program_keys: list[str], description: str) -> BenchmarkSpec:
+    programs = [_PROGRAMS[key] for key in program_keys for _ in range(2)]
+    return BenchmarkSpec(
+        name=name,
+        description=description,
+        streams=tuple(
+            _stream(program, core) for core, program in enumerate(programs)
+        ),
+        patterns=tuple(_pattern(program) for program in programs),
+    )
+
+
+def benchmark_suite() -> dict[str, BenchmarkSpec]:
+    """All Table IV workloads, keyed by their short name."""
+    return {
+        "ast_m": _homogeneous("ast_m", "astar", "SPEC-CPU2006, 8 C.astar"),
+        "gem_m": _homogeneous("gem_m", "gemsFDTD", "SPEC-CPU2006, 8 C.gemsFDTD"),
+        "lbm_m": _homogeneous("lbm_m", "lbm", "SPEC-CPU2006, 8 C.lbm"),
+        "mcf_m": _homogeneous("mcf_m", "mcf", "SPEC-CPU2006, 8 C.mcf"),
+        "mil_m": _homogeneous("mil_m", "milc", "SPEC-CPU2006, 8 C.milc"),
+        "xal_m": _homogeneous(
+            "xal_m", "xalancbmk", "SPEC-CPU2006, 8 C.xalancbmk"
+        ),
+        "zeu_m": _homogeneous("zeu_m", "zeusmp", "SPEC-CPU2006, 8 C.zeusmp"),
+        "mum_m": _homogeneous("mum_m", "mummer", "BioBench, 8 B.mummer"),
+        "tig_m": _homogeneous("tig_m", "tigr", "BioBench, 8 B.tigr"),
+        "mix_1": _mix(
+            "mix_1",
+            ["astar", "milc", "xalancbmk", "mummer"],
+            "2 C.ast - 2 C.mil - 2 C.xal - 2 B.mum",
+        ),
+        "mix_2": _mix(
+            "mix_2",
+            ["gemsFDTD", "lbm", "mcf", "zeusmp"],
+            "2 C.gem - 2 C.lbm - 2 C.mcf - 2 C.zeu",
+        ),
+    }
+
+
+def scale_benchmark(spec: BenchmarkSpec, factor: int) -> BenchmarkSpec:
+    """Shrink a workload's working sets by ``factor`` for simulation.
+
+    Full-size working sets need hundreds of millions of trace records
+    before a 32 MB DRAM-L3 slice even fills.  The standard sampling
+    trick scales the L3 (``SystemConfig.with_cpu(l3_bytes_per_core=...)``)
+    and every working set down by the same factor: miss and write-back
+    *rates* are preserved while traces shrink by orders of magnitude.
+    """
+    if factor < 1:
+        raise ValueError(f"scale factor must be >= 1, got {factor}")
+    from dataclasses import replace
+
+    streams = tuple(
+        replace(
+            stream,
+            working_set_lines=max(1024, stream.working_set_lines // factor),
+        )
+        for stream in spec.streams
+    )
+    return BenchmarkSpec(
+        name=spec.name,
+        description=spec.description,
+        streams=streams,
+        patterns=spec.patterns,
+    )
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up one workload by name."""
+    suite = benchmark_suite()
+    if name not in suite:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {sorted(suite)}"
+        )
+    return suite[name]

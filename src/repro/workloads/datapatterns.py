@@ -1,0 +1,91 @@
+"""Write data-pattern generation (feeds Figs. 9 and 14).
+
+What the write path needs from "data" is only which cells flip, and in
+which direction — the RESET/SET masks after Flip-N-Write.  Real
+programs update a few dirty words per line with a handful of changed
+bits each, which is why most of a line's 64 MATs see no RESET at all in
+a write while a few see 1-3 (Fig. 9).
+
+The generator draws, per write, a number of dirty 32-bit words
+(geometric, matched to the benchmark's mean changed-cell fraction) and
+flips each dirty word's bits with an in-word change probability; each
+changed bit becomes a RESET or a SET with equal probability (steady
+state of Flip-N-Write keeps the 0->1 / 1->0 flows balanced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PatternParams", "WritePatternGenerator"]
+
+
+@dataclass(frozen=True)
+class PatternParams:
+    """Per-benchmark write-pattern statistics."""
+
+    changed_fraction: float = 0.10  # mean fraction of line cells changed
+    word_bits: int = 32
+    in_word_change: float = 0.4  # P(bit flips | its word is dirty)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.changed_fraction <= 1.0:
+            raise ValueError(
+                f"changed fraction must be in (0, 1], got {self.changed_fraction}"
+            )
+        if not 0.0 < self.in_word_change <= 1.0:
+            raise ValueError(
+                f"in-word change must be in (0, 1], got {self.in_word_change}"
+            )
+        if self.word_bits < 1:
+            raise ValueError(f"word size must be >= 1, got {self.word_bits}")
+
+
+class WritePatternGenerator:
+    """Draws (RESET mask, SET mask) pairs for line writes."""
+
+    def __init__(
+        self, params: PatternParams, line_bits: int = 512, seed: int = 0
+    ) -> None:
+        if line_bits % params.word_bits:
+            raise ValueError(
+                f"word size {params.word_bits} must divide line size {line_bits}"
+            )
+        self.params = params
+        self.line_bits = line_bits
+        self.words = line_bits // params.word_bits
+        self._rng = np.random.default_rng(seed)
+        # Mean dirty words so that E[changed bits] matches the target:
+        # changed_fraction * line_bits = dirty_words * word_bits * in_word.
+        target_bits = params.changed_fraction * line_bits
+        self._mean_dirty_words = max(
+            1.0, target_bits / (params.word_bits * params.in_word_change)
+        )
+
+    def masks(self) -> tuple[np.ndarray, np.ndarray]:
+        """One write's (RESET, SET) cell masks, each ``line_bits`` long."""
+        params = self.params
+        rng = self._rng
+        dirty = min(
+            self.words, int(rng.geometric(1.0 / self._mean_dirty_words))
+        )
+        dirty_words = rng.choice(self.words, size=dirty, replace=False)
+        changed = np.zeros(self.line_bits, dtype=bool)
+        for word in dirty_words:
+            start = word * params.word_bits
+            flips = rng.random(params.word_bits) < params.in_word_change
+            changed[start : start + params.word_bits] = flips
+        direction = rng.random(self.line_bits) < 0.5
+        resets = changed & direction
+        sets = changed & ~direction
+        return resets, sets
+
+    def mean_changed_bits(self, samples: int = 200) -> float:
+        """Empirical mean changed cells per write (for calibration tests)."""
+        total = 0
+        for _ in range(samples):
+            resets, sets = self.masks()
+            total += int(resets.sum() + sets.sum())
+        return total / samples

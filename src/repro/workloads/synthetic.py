@@ -1,0 +1,138 @@
+"""Synthetic address-stream generation.
+
+SPEC-CPU2006 / BioBench traces cannot be redistributed, so each
+benchmark is replaced by a parameterised stochastic stream that matches
+the properties the evaluation depends on: the L2-level RPKI/WPKI of
+Table IV, the working-set size (which sets the DRAM-L3 miss rate), the
+skew of the line-popularity distribution, and the spatial run length of
+consecutive accesses.
+
+The popularity model is a truncated discrete Pareto ("Zipf-like") over
+the working set: rank r is accessed with probability proportional to
+``1 / (r + q) ** alpha``.  ``hotness_rank`` exposes each line's
+popularity percentile, which SCH scheduling consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import MemoryAccess, Trace
+
+__all__ = ["StreamParams", "SyntheticStream"]
+
+
+@dataclass(frozen=True)
+class StreamParams:
+    """Knobs of one core's synthetic access stream."""
+
+    rpki: float  # L2-miss reads per kilo-instruction
+    wpki: float  # L2 writebacks per kilo-instruction
+    working_set_lines: int = 1 << 20  # 64 MB at 64B lines
+    zipf_alpha: float = 0.9  # popularity skew (0 = uniform)
+    run_length: float = 4.0  # mean sequential-line run
+    address_base: int = 0  # start of this stream's address region
+
+    def __post_init__(self) -> None:
+        if self.rpki < 0 or self.wpki < 0:
+            raise ValueError("RPKI/WPKI must be >= 0")
+        if self.rpki + self.wpki <= 0:
+            raise ValueError("the stream must produce some accesses")
+        if self.working_set_lines < 1:
+            raise ValueError("working set must hold at least one line")
+        if self.zipf_alpha < 0:
+            raise ValueError("zipf_alpha must be >= 0")
+        if self.run_length < 1:
+            raise ValueError("mean run length must be >= 1")
+
+
+class SyntheticStream:
+    """Reproducible per-core access stream."""
+
+    LINE_BYTES = 64
+
+    _PERM_MULTIPLIER = 0x9E3779B1  # odd -> bijective modulo any even size
+
+    def __init__(self, params: StreamParams, seed: int = 0) -> None:
+        self.params = params
+        self._rng = np.random.default_rng(seed)
+        self._mpki = params.rpki + params.wpki
+        self._write_probability = params.wpki / self._mpki
+        # Truncated-Pareto popularity with an analytic inverse CDF: no
+        # per-line tables, so multi-GB working sets cost no memory.
+        self._n = params.working_set_lines
+        self._q = 2.0
+        alpha = params.zipf_alpha
+        if abs(alpha - 1.0) < 1e-9:
+            self._log_base = np.log((self._n + self._q) / self._q)
+        else:
+            power = 1.0 - alpha
+            self._pow_lo = self._q**power
+            self._pow_hi = (self._n + self._q) ** power
+        # A fixed multiplicative permutation scatters popularity ranks
+        # over the region as in real heaps (bijective: the multiplier is
+        # odd and working sets have an even number of lines).
+        mult = self._PERM_MULTIPLIER
+        self._mult = mult if int(np.gcd(mult, self._n)) == 1 else 1
+        self._mult_inv = pow(self._mult, -1, self._n) if self._n > 1 else 1
+        self._run_remaining = 0
+        self._run_line = 0
+
+    # -- popularity -------------------------------------------------------------
+
+    def _rank_to_line(self, rank: int) -> int:
+        return (rank * self._mult) % self._n
+
+    def _line_to_rank(self, line: int) -> int:
+        return (line * self._mult_inv) % self._n
+
+    def _draw_rank(self) -> int:
+        u = self._rng.random()
+        alpha = self.params.zipf_alpha
+        if abs(alpha - 1.0) < 1e-9:
+            rank = self._q * np.exp(u * self._log_base) - self._q
+        else:
+            power = 1.0 - alpha
+            rank = (
+                self._pow_lo + u * (self._pow_hi - self._pow_lo)
+            ) ** (1.0 / power) - self._q
+        return min(self._n - 1, max(0, int(rank)))
+
+    def hotness_rank(self, address: int) -> float:
+        """Popularity percentile of a line: 0.0 = hottest."""
+        line = (address - self.params.address_base) // self.LINE_BYTES
+        line %= self._n
+        return float(self._line_to_rank(line)) / self._n
+
+    # -- generation ----------------------------------------------------------------
+
+    def _next_line(self) -> int:
+        if self._run_remaining > 0:
+            self._run_remaining -= 1
+            self._run_line = (self._run_line + 1) % self.params.working_set_lines
+            return self._run_line
+        if self.params.run_length > 1.0:
+            self._run_remaining = int(
+                self._rng.geometric(1.0 / self.params.run_length)
+            ) - 1
+        line = self._rank_to_line(self._draw_rank())
+        self._run_line = line
+        return line
+
+    def next_access(self) -> MemoryAccess:
+        """Generate the next access of the stream."""
+        gap = int(self._rng.geometric(self._mpki / 1000.0))
+        line = self._next_line()
+        address = self.params.address_base + line * self.LINE_BYTES
+        is_write = bool(self._rng.random() < self._write_probability)
+        return MemoryAccess(
+            gap_instructions=gap, is_write=is_write, address=address
+        )
+
+    def take(self, count: int) -> Trace:
+        """Materialise ``count`` accesses as a replayable trace."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return Trace(self.next_access() for _ in range(count))

@@ -1,0 +1,106 @@
+"""Trace record types for the trace-driven simulator.
+
+A trace is a per-core stream of :class:`MemoryAccess` records at the
+**L2-miss level**: each record is one request leaving the core's private
+L2 (the level Table IV's RPKI/WPKI are counted at), annotated with the
+number of instructions the core retired since its previous record.  The
+in-package DRAM L3 cache model filters these further before anything
+reaches the ReRAM main memory.
+
+Traces round-trip through ``.npz`` files (:meth:`Trace.save` /
+:meth:`Trace.load`), so externally captured streams can replace the
+synthetic generators.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["MemoryAccess", "Trace"]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One L2 miss: ``gap_instructions`` retired since the previous one."""
+
+    gap_instructions: int
+    is_write: bool
+    address: int  # byte address, line-aligned by the generator
+
+    def __post_init__(self) -> None:
+        if self.gap_instructions < 0:
+            raise ValueError(
+                f"instruction gap must be >= 0, got {self.gap_instructions}"
+            )
+        if self.address < 0:
+            raise ValueError(f"address must be >= 0, got {self.address}")
+
+
+class Trace:
+    """A bounded, replayable sequence of accesses."""
+
+    def __init__(self, accesses: Iterable[MemoryAccess]) -> None:
+        self._accesses = list(accesses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self._accesses)
+
+    def __len__(self) -> int:
+        return len(self._accesses)
+
+    @property
+    def instructions(self) -> int:
+        return sum(access.gap_instructions for access in self._accesses)
+
+    @property
+    def reads(self) -> int:
+        return sum(1 for access in self._accesses if not access.is_write)
+
+    @property
+    def writes(self) -> int:
+        return sum(1 for access in self._accesses if access.is_write)
+
+    def rpki(self) -> float:
+        """Read accesses per kilo-instruction."""
+        instructions = self.instructions
+        return 1000.0 * self.reads / instructions if instructions else 0.0
+
+    def wpki(self) -> float:
+        """Write accesses per kilo-instruction."""
+        instructions = self.instructions
+        return 1000.0 * self.writes / instructions if instructions else 0.0
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: "str | pathlib.Path") -> None:
+        """Write the trace to a compressed ``.npz`` file."""
+        gaps = np.array([a.gap_instructions for a in self._accesses], dtype=np.int64)
+        writes = np.array([a.is_write for a in self._accesses], dtype=bool)
+        addresses = np.array([a.address for a in self._accesses], dtype=np.uint64)
+        np.savez_compressed(
+            path, gaps=gaps, writes=writes, addresses=addresses
+        )
+
+    @classmethod
+    def load(cls, path: "str | pathlib.Path") -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        with np.load(path) as data:
+            required = {"gaps", "writes", "addresses"}
+            if not required <= set(data.files):
+                raise ValueError(
+                    f"{path} is not a trace file (needs {sorted(required)})"
+                )
+            return cls(
+                MemoryAccess(
+                    gap_instructions=int(gap),
+                    is_write=bool(write),
+                    address=int(address),
+                )
+                for gap, write, address in zip(
+                    data["gaps"], data["writes"], data["addresses"]
+                )
+            )

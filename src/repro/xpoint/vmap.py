@@ -1,0 +1,213 @@
+"""Effective-voltage / latency / endurance maps over a cross-point MAT.
+
+:class:`ArrayIRModel` is the facade the rest of the library consumes.
+It combines
+
+* the distributed reduced solver (:mod:`repro.circuit.line_model`) for
+  the bit-line drop profile — solved on a sparse row grid per distinct
+  applied voltage and interpolated, then cached, and
+* the analytic word-line model (:mod:`repro.circuit.equivalent`),
+  auto-calibrated against the reduced solver at construction,
+
+into vectorised full-array maps: ``v_eff_map`` reproduces Fig. 4b /
+6b / 11b, ``latency_map`` Fig. 4c / 6c / 11c / 13a, and
+``endurance_map`` Fig. 4d / 6d / 11d / 13b.
+
+Applied voltage may be a scalar (static Vrst), a per-row vector (DRVR
+row sections) or a full per-cell matrix (UDRVR column levels stacked on
+DRVR sections).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..circuit.cell import CellModel
+from ..circuit.crosspoint import BASELINE_BIAS, BiasScheme
+from ..circuit.equivalent import WordlineDropModel
+from ..circuit.line_model import ReducedArrayModel
+from ..config import SystemConfig
+
+__all__ = ["ArrayIRModel", "get_ir_model"]
+
+_PROFILE_SAMPLES = 13
+_VOLTAGE_QUANTUM = 0.02  # cache key resolution for applied voltages
+
+
+class ArrayIRModel:
+    """IR-drop maps for one array configuration.
+
+    Construct via :func:`get_ir_model` to share cached instances.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.reduced = ReducedArrayModel(config)
+        self.cell_model: CellModel = self.reduced.cell_model
+        self._bl_profiles: dict[tuple[float, BiasScheme], np.ndarray] = {}
+        self._wl_model: WordlineDropModel | None = None
+
+    # -- calibration ------------------------------------------------------------
+
+    @property
+    def wl_model(self) -> WordlineDropModel:
+        """Word-line model, calibrated lazily against the reduced solver."""
+        if self._wl_model is None:
+            a = self.config.array.size
+            v_rst = self.config.cell.v_reset
+            far_corner = self.reduced.solve_reset(a - 1, (a - 1,))
+            bl_drop_far = v_rst - self.reduced.solve_reset(a - 1, (0,)).v_eff[
+                (a - 1, 0)
+            ]
+            wl_drop_far = v_rst - far_corner.v_eff[(a - 1, a - 1)] - bl_drop_far
+            self._wl_model = WordlineDropModel.calibrate(
+                self.config, max(0.0, wl_drop_far)
+            )
+        return self._wl_model
+
+    # -- bit-line profiles --------------------------------------------------------
+
+    def bl_drop_profile(
+        self, v_applied: float | None = None, bias: BiasScheme = BASELINE_BIAS
+    ) -> np.ndarray:
+        """BL voltage drop (V) by row for one applied WD voltage.
+
+        Solved exactly on a sparse row grid (column 0, where the WL drop
+        is negligible) and linearly interpolated; cached per quantised
+        voltage and bias scheme.
+        """
+        a = self.config.array.size
+        if v_applied is None:
+            v_applied = self.config.cell.v_reset
+        key = (round(v_applied / _VOLTAGE_QUANTUM) * _VOLTAGE_QUANTUM, bias)
+        cached = self._bl_profiles.get(key)
+        if cached is not None:
+            return cached
+        grid = np.unique(
+            np.round(np.linspace(0, a - 1, min(_PROFILE_SAMPLES, a))).astype(int)
+        )
+        drops = []
+        for row in grid:
+            solution = self.reduced.solve_reset(int(row), (0,), key[0], bias)
+            drops.append(v_applied - solution.v_eff[(int(row), 0)])
+        profile = np.interp(np.arange(a), grid, np.asarray(drops))
+        self._bl_profiles[key] = profile
+        return profile
+
+    # -- point queries --------------------------------------------------------------
+
+    def v_eff(
+        self,
+        row: int,
+        col: int,
+        v_applied: float | None = None,
+        n_bits: int = 1,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> float:
+        """Effective RESET voltage of one cell under an N-bit RESET."""
+        if v_applied is None:
+            v_applied = self.config.cell.v_reset
+        bl = float(self.bl_drop_profile(v_applied, bias)[row])
+        wl = float(self.wl_model.drop(col, n_bits, bias))
+        return v_applied - bl - wl
+
+    def reset_latency(
+        self,
+        row: int,
+        col: int,
+        v_applied: float | None = None,
+        n_bits: int = 1,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> float:
+        """RESET latency (s) of one cell under an N-bit RESET."""
+        return float(
+            self.cell_model.reset_latency(
+                self.v_eff(row, col, v_applied, n_bits, bias)
+            )
+        )
+
+    # -- full-array maps ---------------------------------------------------------------
+
+    def applied_matrix(
+        self, v_applied: "float | np.ndarray | None"
+    ) -> np.ndarray:
+        """Broadcast an applied-voltage spec to a full (A, A) matrix.
+
+        Accepts a scalar (static Vrst), an (A,) vector read as per-row
+        levels (DRVR sections), or a full (A, A) matrix (UDRVR).
+        """
+        a = self.config.array.size
+        if v_applied is None:
+            v_applied = self.config.cell.v_reset
+        v = np.asarray(v_applied, dtype=float)
+        if v.ndim == 0:
+            return np.full((a, a), float(v))
+        if v.shape == (a,):
+            return np.repeat(v[:, None], a, axis=1)
+        if v.shape == (a, a):
+            return v.copy()
+        raise ValueError(
+            f"applied voltage must be scalar, ({a},) or ({a}, {a}); got {v.shape}"
+        )
+
+    def v_eff_map(
+        self,
+        v_applied: "float | np.ndarray | None" = None,
+        n_bits: int = 1,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> np.ndarray:
+        """Effective RESET voltage of every cell, shape (A, A)."""
+        a = self.config.array.size
+        v = self.applied_matrix(v_applied)
+        rows = np.arange(a)
+        bl_drop = np.empty_like(v)
+        quantised = np.round(v / _VOLTAGE_QUANTUM) * _VOLTAGE_QUANTUM
+        for value in np.unique(quantised):
+            profile = self.bl_drop_profile(float(value), bias)
+            mask = quantised == value
+            bl_drop[mask] = np.repeat(profile[:, None], a, axis=1)[mask]
+        wl_drop = np.asarray(self.wl_model.drop(np.arange(a), n_bits, bias))
+        return v - bl_drop - wl_drop[None, :]
+
+    def latency_map(
+        self,
+        v_applied: "float | np.ndarray | None" = None,
+        n_bits: int = 1,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> np.ndarray:
+        """Per-cell RESET latency (s), shape (A, A) (Fig. 4c family)."""
+        return np.asarray(
+            self.cell_model.reset_latency(self.v_eff_map(v_applied, n_bits, bias))
+        )
+
+    def endurance_map(
+        self,
+        v_applied: "float | np.ndarray | None" = None,
+        n_bits: int = 1,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> np.ndarray:
+        """Per-cell write endurance, shape (A, A) (Fig. 4d family)."""
+        return np.asarray(
+            self.cell_model.endurance(self.latency_map(v_applied, n_bits, bias))
+        )
+
+    def array_reset_latency(
+        self,
+        v_applied: "float | np.ndarray | None" = None,
+        n_bits: int = 1,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> float:
+        """Array RESET latency: the slowest finite cell RESET."""
+        latency = self.latency_map(v_applied, n_bits, bias)
+        finite = latency[np.isfinite(latency)]
+        if finite.size == 0:
+            return float("inf")
+        return float(finite.max())
+
+
+@lru_cache(maxsize=32)
+def get_ir_model(config: SystemConfig) -> ArrayIRModel:
+    """Shared, memoised :class:`ArrayIRModel` per configuration."""
+    return ArrayIRModel(config)

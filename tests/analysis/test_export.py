@@ -1,0 +1,74 @@
+"""Export helper tests."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import export_csv_tables, export_json, to_plain
+from repro.analysis.maps import MapSummary
+
+
+class TestToPlain:
+    def test_dataclass(self):
+        summary = MapSummary(1.0, 2.0, 1.0, 2.0, 1.5)
+        plain = to_plain(summary)
+        assert plain == {
+            "bottom_left": 1.0,
+            "top_right": 2.0,
+            "minimum": 1.0,
+            "maximum": 2.0,
+            "mean": 1.5,
+        }
+
+    def test_numpy(self):
+        plain = to_plain({"a": np.arange(3), "b": np.float64(1.5)})
+        assert plain == {"a": [0, 1, 2], "b": 1.5}
+
+    def test_nonfinite_floats_stringified(self):
+        assert to_plain(math.inf) == "inf"
+        assert to_plain({"x": float("nan")})["x"] == "nan"
+
+    def test_nested_tuples(self):
+        assert to_plain({"s": [(1, 2.0), (3, 4.0)]}) == {"s": [[1, 2.0], [3, 4.0]]}
+
+
+class TestExportJson:
+    def test_experiment_payload_roundtrip(self, tmp_path):
+        from repro.analysis.experiments import fig01e
+
+        path = tmp_path / "out" / "fig01e.json"
+        export_json(fig01e(), path)
+        data = json.loads(path.read_text())
+        assert any(abs(node - 20.0) < 1e-9 for node, _ in data["series"])
+
+    def test_map_payload_serialisable(self, tmp_path):
+        from repro.analysis.experiments import fig04
+        from repro.config import default_config
+
+        payload = fig04(default_config(size=64))
+        path = tmp_path / "fig04.json"
+        export_json(payload, path)
+        data = json.loads(path.read_text())
+        assert "v_eff" in data and "latency_blocks" in data
+
+
+class TestExportCsv:
+    def test_table_shaped_keys_written(self, tmp_path):
+        payload = {
+            "per_benchmark": {
+                "mcf": {"Base": 1.0, "UDRVR+PR": 1.1},
+                "xal": {"Base": 0.9, "UDRVR+PR": 1.0},
+            },
+            "scalar": 3.0,
+        }
+        files = export_csv_tables(payload, tmp_path, prefix="fig15")
+        assert len(files) == 1
+        text = files[0].read_text()
+        assert "key,Base,UDRVR+PR" in text
+        assert "mcf,1.0,1.1" in text
+
+    def test_inconsistent_rows_skipped(self, tmp_path):
+        payload = {"ragged": {"a": {"x": 1}, "b": {"y": 2}}}
+        assert export_csv_tables(payload, tmp_path) == []

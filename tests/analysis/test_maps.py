@@ -1,0 +1,47 @@
+"""Map reduction and summary tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.maps import block_reduce, summarise_map
+
+
+class TestBlockReduce:
+    def test_max_reduction(self):
+        values = np.arange(16.0).reshape(4, 4)
+        reduced = block_reduce(values, block=2, reduce="max")
+        assert reduced.shape == (2, 2)
+        assert reduced[0, 0] == 5.0
+        assert reduced[1, 1] == 15.0
+
+    def test_min_and_mean(self):
+        values = np.arange(16.0).reshape(4, 4)
+        assert block_reduce(values, 2, "min")[0, 0] == 0.0
+        assert block_reduce(values, 2, "mean")[0, 0] == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_reduce(np.zeros((4, 4)), 3)
+        with pytest.raises(ValueError):
+            block_reduce(np.zeros((4, 8)), 2)
+        with pytest.raises(ValueError):
+            block_reduce(np.zeros((4, 4)), 2, "median")
+
+
+class TestSummarise:
+    def test_corners(self):
+        values = np.array([[3.0, 2.0], [2.5, 1.7]])
+        summary = summarise_map(values)
+        assert summary.bottom_left == 3.0
+        assert summary.top_right == 1.7
+        assert summary.minimum == 1.7
+        assert summary.maximum == 3.0
+
+    def test_ignores_nonfinite_for_extrema(self):
+        values = np.array([[1.0, np.inf], [2.0, 3.0]])
+        summary = summarise_map(values)
+        assert summary.maximum == 3.0
+
+    def test_all_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            summarise_map(np.full((2, 2), np.inf))

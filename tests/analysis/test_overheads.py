@@ -1,0 +1,53 @@
+"""Hardware overhead accounting tests (Fig. 5d anchors)."""
+
+import pytest
+
+from repro.analysis.overheads import chip_overheads
+from repro.techniques import (
+    make_baseline,
+    make_dbl,
+    make_dsgb,
+    make_dswd,
+    make_hard_sys,
+    make_udrvr_pr,
+)
+
+
+class TestPublishedOverheads:
+    def test_baseline_is_unity(self, paper_config):
+        report = chip_overheads(paper_config, make_baseline(paper_config))
+        assert report.area_factor == pytest.approx(1.0)
+        assert report.leakage_factor == pytest.approx(1.0)
+
+    def test_dsgb(self, paper_config):
+        report = chip_overheads(paper_config, make_dsgb(paper_config))
+        assert report.area_factor == pytest.approx(1.29, abs=0.01)
+
+    def test_dswd(self, paper_config):
+        report = chip_overheads(paper_config, make_dswd(paper_config))
+        assert report.area_factor == pytest.approx(1.19, abs=0.01)
+
+    def test_dbl_includes_pump_doubling(self, paper_config):
+        report = chip_overheads(paper_config, make_dbl(paper_config))
+        # +11% chip area plus the doubled pump's extra 11% share.
+        assert report.area_factor == pytest.approx(1.22, abs=0.02)
+
+    def test_hard_sys_near_paper_totals(self, paper_config):
+        # §III-C: prior techniques add ~53% area and ~75% power.
+        report = chip_overheads(paper_config, make_hard_sys(paper_config))
+        assert 1.5 < report.area_factor < 1.85
+        assert 1.5 < report.power_factor < 2.1
+
+    def test_udrvr_cheap(self, paper_config):
+        # UDRVR only grows the pump (a ~11% slice) by a third.
+        report = chip_overheads(paper_config, make_udrvr_pr(paper_config))
+        assert report.area_factor == pytest.approx(1.037, abs=0.01)
+        assert report.leakage_factor < 1.05
+
+
+class TestOrdering:
+    def test_ours_much_cheaper_than_hard_sys(self, paper_config):
+        ours = chip_overheads(paper_config, make_udrvr_pr(paper_config))
+        hard = chip_overheads(paper_config, make_hard_sys(paper_config))
+        assert ours.area_factor < hard.area_factor
+        assert ours.power_factor < hard.power_factor

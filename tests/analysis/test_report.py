@@ -1,0 +1,43 @@
+"""Report rendering tests."""
+
+import pytest
+
+from repro.analysis.report import format_series, format_table, format_value
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(1.5) == "1.5"
+        assert format_value(0.0123) == "0.0123"
+        assert "e" in format_value(1.23e9)
+        assert format_value(0.0) == "0"
+
+    def test_bools_and_strings(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.0], ["long-name", 2.5]]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(set(len(line) for line in lines[2:])) <= 2
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="T")
+        assert table.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        text = format_series("latency", [(1, 10.0), (2, 20.0)], unit="ns")
+        assert "latency:" in text
+        assert "10" in text and "ns" in text

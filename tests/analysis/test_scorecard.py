@@ -1,0 +1,58 @@
+"""Scheme scorecard tests."""
+
+import pytest
+
+from repro.analysis.scorecard import scorecard, scorecard_table
+from repro.techniques import make_baseline, make_udrvr_pr, standard_schemes
+
+
+@pytest.fixture(scope="module")
+def cards(paper_config):
+    schemes = standard_schemes(paper_config)
+    subset = {
+        name: schemes[name]
+        for name in ("Base", "Hard+Sys", "DRVR", "DRVR+PR", "UDRVR+PR")
+    }
+    return {c.scheme: c for c in scorecard_table(subset, paper_config)}
+
+
+class TestScorecard:
+    def test_table_sorted_by_speed(self, paper_config):
+        schemes = standard_schemes(paper_config)
+        subset = {n: schemes[n] for n in ("Base", "UDRVR+PR")}
+        table = scorecard_table(subset, paper_config)
+        latencies = [c.worst_write_latency_s for c in table]
+        assert latencies == sorted(latencies)
+
+    def test_headline_scorecard(self, cards):
+        ours = cards["UDRVR+PR"]
+        base = cards["Base"]
+        # The abstract, as predicates: faster, still >10 years, small
+        # overhead, wear-leveling compatible.
+        assert ours.worst_write_latency_s < base.worst_write_latency_s / 5
+        assert ours.meets_ten_year_guarantee
+        assert ours.area_factor < 1.1
+        assert ours.wear_leveling_compatible
+
+    def test_prior_stack_fails_durability(self, cards):
+        assert not cards["Hard+Sys"].meets_ten_year_guarantee
+        assert not cards["Hard+Sys"].wear_leveling_compatible
+
+    def test_drvr_pr_waypoint(self, cards):
+        # §IV-B: PR speeds DRVR up but costs lifetime; UDRVR restores it.
+        assert (
+            cards["DRVR+PR"].worst_write_latency_s
+            < cards["DRVR"].worst_write_latency_s
+        )
+        assert cards["DRVR+PR"].lifetime_years < cards["DRVR"].lifetime_years
+        assert cards["UDRVR+PR"].lifetime_years > cards["DRVR+PR"].lifetime_years
+
+    def test_pump_voltages(self, cards):
+        assert cards["Base"].pump_voltage == pytest.approx(3.0)
+        assert 3.5 < cards["UDRVR+PR"].pump_voltage < 3.8
+
+    def test_default_config_used_when_omitted(self):
+        from repro.config import default_config
+
+        card = scorecard(make_baseline(default_config()))
+        assert card.scheme == "Base"

@@ -1,0 +1,52 @@
+"""Sensitivity-analysis tests."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    Perturbation,
+    baseline_latency_metric,
+    sensitivity_report,
+)
+from repro.config import default_config
+
+
+@pytest.fixture(scope="module")
+def report(small_config):
+    return sensitivity_report(config=small_config, delta=0.1)
+
+
+class TestReport:
+    def test_rows_sorted_by_swing(self, report):
+        swings = [row.swing for row in report]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_wire_resistance_dominates(self, report):
+        # The latency anchor is most sensitive to Rwire and Ion — the
+        # two parameters the drop is literally a product of.
+        top_two = {report[0].parameter, report[1].parameter}
+        assert "wire resistance" in top_two
+        assert "cell RESET current (Ion)" in top_two
+
+    def test_directions(self, report):
+        by_name = {row.parameter: row for row in report}
+        wire = by_name["wire resistance"]
+        # More wire resistance -> more drop -> longer latency.
+        assert wire.high_ratio > 1.0 > wire.low_ratio
+
+    def test_custom_perturbation_and_metric(self, small_config):
+        rows = sensitivity_report(
+            metric=baseline_latency_metric,
+            config=small_config,
+            perturbations=[
+                Perturbation(
+                    "nothing", lambda c, f: c
+                )
+            ],
+        )
+        assert rows[0].swing == pytest.approx(0.0)
+
+    def test_delta_validated(self, small_config):
+        with pytest.raises(ValueError):
+            sensitivity_report(config=small_config, delta=0.0)
+        with pytest.raises(ValueError):
+            sensitivity_report(config=small_config, delta=1.5)

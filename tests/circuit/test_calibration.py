@@ -1,0 +1,55 @@
+"""Paper-anchor calibration tests on the full 512x512 baseline.
+
+These pin the reproduction to the published numbers (DESIGN.md's
+calibration table); loosening them silently would invalidate every
+downstream figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.xpoint.vmap import get_ir_model
+
+
+@pytest.fixture(scope="module")
+def model(paper_config):
+    return get_ir_model(paper_config)
+
+
+class TestBaselineAnchors:
+    def test_worst_corner_effective_voltage(self, model):
+        # 3 V applied -> ~1.7 V at the top-right corner (Fig. 4b).
+        v = model.v_eff(511, 511)
+        assert v == pytest.approx(1.70, abs=0.02)
+
+    def test_no_cell_below_write_failure(self, model):
+        v_map = model.v_eff_map()
+        assert v_map.min() >= model.config.cell.v_write_fail
+
+    def test_array_reset_latency(self, model):
+        # ~2.3 us array RESET latency (Fig. 4c).
+        latency = model.array_reset_latency()
+        assert latency == pytest.approx(2.3e-6, rel=0.05)
+
+    def test_best_corner_unaffected(self, model):
+        assert model.v_eff(0, 0) == pytest.approx(3.0, abs=0.01)
+
+    def test_leftmost_bl_drop(self, model):
+        # ~0.66 V near/far effective-voltage difference (Fig. 7b).
+        profile = model.bl_drop_profile()
+        assert profile[-1] - profile[0] == pytest.approx(0.66, abs=0.04)
+
+    def test_endurance_anchors(self, model):
+        endurance = model.endurance_map()
+        assert endurance[0, 0] == pytest.approx(5e6, rel=0.1)
+        assert endurance[-1, -1] > 1e12
+
+    def test_multi_bit_sweet_spot(self, model):
+        assert model.wl_model.optimal_bits() == 4
+
+    def test_elevated_voltage_keeps_bl_drop(self, model):
+        # The leakage saturation keeps the BL drop nearly constant as
+        # DRVR raises the drive towards 3.7 V (else levels diverge).
+        at_3v = model.bl_drop_profile(3.0)[-1]
+        at_37v = model.bl_drop_profile(3.7)[-1]
+        assert at_37v == pytest.approx(at_3v, abs=0.05)

@@ -1,0 +1,95 @@
+"""Cell latency/endurance model tests (Equations 1 and 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import CellParams
+from repro.circuit.cell import CellModel, CellState
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CellModel.from_params(CellParams())
+
+
+class TestEquationOne:
+    def test_nominal_anchor(self, model):
+        assert model.reset_latency(3.0) == pytest.approx(15e-9, rel=1e-6)
+
+    def test_worst_case_anchor(self, model):
+        assert model.reset_latency(1.7) == pytest.approx(2.3e-6, rel=1e-6)
+
+    def test_paper_ten_x_sensitivity(self, model):
+        # The paper quotes roughly an order of magnitude per ~0.5 V.
+        ratio = model.reset_latency(2.5) / model.reset_latency(3.0)
+        assert 4 < ratio < 12
+
+    def test_write_failure_below_floor(self, model):
+        assert math.isinf(model.reset_latency(1.69))
+        assert math.isfinite(model.reset_latency(1.70))
+
+    def test_vectorised_matches_scalar(self, model):
+        voltages = np.array([1.8, 2.2, 3.0])
+        vector = model.reset_latency(voltages)
+        for v, t in zip(voltages, vector):
+            assert t == pytest.approx(model.reset_latency(float(v)))
+
+    def test_inverse(self, model):
+        for t in (20e-9, 100e-9, 1e-6):
+            assert model.reset_latency(
+                model.voltage_for_latency(t)
+            ) == pytest.approx(t, rel=1e-9)
+
+    def test_inverse_rejects_nonpositive(self, model):
+        with pytest.raises(ValueError):
+            model.voltage_for_latency(0.0)
+
+
+class TestEquationTwo:
+    def test_nominal_endurance(self, model):
+        assert model.endurance(15e-9) == pytest.approx(5e6, rel=1e-6)
+
+    def test_worst_corner_exceeds_1e12(self, model):
+        # Fig. 4d: the slowest cells tolerate > 1e12 writes.
+        assert model.endurance(2.3e-6) > 1e12
+
+    def test_over_reset_at_high_voltage(self, model):
+        # Fig. 6a: a no-drop cell at 3.7 V survives only ~1.5K-5K writes.
+        endurance = model.endurance_at_voltage(3.7)
+        assert 1e3 < endurance < 1e4
+
+    def test_cubic_scaling(self, model):
+        assert model.endurance(30e-9) == pytest.approx(
+            8 * model.endurance(15e-9), rel=1e-9
+        )
+
+    @given(st.floats(min_value=1.71, max_value=3.6))
+    def test_endurance_decreases_with_voltage(self, v):
+        model = CellModel.from_params(CellParams())
+        e_low = model.endurance_at_voltage(v)
+        e_high = model.endurance_at_voltage(v + 0.1)
+        assert e_high < e_low
+
+
+class TestResistance:
+    def test_states(self, model):
+        lrs = model.resistance(CellState.LRS)
+        hrs = model.resistance(CellState.HRS)
+        assert hrs == pytest.approx(100 * lrs)
+
+    def test_write_succeeds_threshold(self, model):
+        assert model.write_succeeds(1.7)
+        assert not model.write_succeeds(1.65)
+        flags = model.write_succeeds(np.array([1.6, 1.8]))
+        assert list(flags) == [False, True]
+
+
+class TestCalibrationValidation:
+    def test_rejects_inconsistent_anchors(self):
+        with pytest.raises(ValueError):
+            CellParams(v_eff_worst=3.5)
+        with pytest.raises(ValueError):
+            CellParams(t_reset_worst=1e-9)

@@ -1,0 +1,104 @@
+"""Full-array solver tests and reduced-vs-full validation."""
+
+import pytest
+
+from repro.circuit.crosspoint import BASELINE_BIAS, BiasScheme, FullArrayModel
+from repro.circuit.line_model import ReducedArrayModel
+
+
+@pytest.fixture(scope="module")
+def full16(tiny_config):
+    return FullArrayModel(tiny_config)
+
+
+@pytest.fixture(scope="module")
+def reduced16(tiny_config):
+    return ReducedArrayModel(tiny_config)
+
+
+class TestFullArray:
+    def test_best_corner_nearly_full_voltage(self, full16):
+        solution = full16.solve_reset(0, (0,))
+        assert solution.v_eff[(0, 0)] > 2.95
+
+    def test_worst_corner_has_most_drop(self, full16, tiny_config):
+        a = tiny_config.array.size
+        worst = full16.solve_reset(a - 1, (a - 1,)).v_eff[(a - 1, a - 1)]
+        best = full16.solve_reset(0, (0,)).v_eff[(0, 0)]
+        mid = full16.solve_reset(a // 2, (a // 2,)).v_eff[(a // 2, a // 2)]
+        assert worst < mid < best
+
+    def test_cell_current_near_ion(self, full16, tiny_config):
+        solution = full16.solve_reset(8, (8,))
+        assert solution.cell_currents[(8, 8)] == pytest.approx(
+            tiny_config.cell.i_on, rel=0.01
+        )
+
+    def test_multi_bit_returns_all_cells(self, full16):
+        solution = full16.solve_reset(15, (3, 9, 15))
+        assert set(solution.v_eff) == {(15, 3), (15, 9), (15, 15)}
+
+    def test_input_validation(self, full16):
+        with pytest.raises(ValueError):
+            full16.solve_reset(99, (0,))
+        with pytest.raises(ValueError):
+            full16.solve_reset(0, ())
+        with pytest.raises(ValueError):
+            full16.solve_reset(0, (99,))
+
+
+class TestReducedMatchesFull:
+    """The production model must track the exact solver closely."""
+
+    @pytest.mark.parametrize(
+        "row, col", [(15, 15), (0, 15), (15, 0), (8, 8), (3, 12)]
+    )
+    def test_single_bit_positions(self, full16, reduced16, row, col):
+        exact = full16.solve_reset(row, (col,)).v_eff[(row, col)]
+        fast = reduced16.solve_reset(row, (col,)).v_eff[(row, col)]
+        assert fast == pytest.approx(exact, abs=0.02)
+
+    def test_dsgb_bias(self, full16, reduced16):
+        bias = BiasScheme(name="dsgb", wl_ground_both_ends=True)
+        exact = full16.solve_reset(15, (8,), bias=bias).v_eff[(15, 8)]
+        fast = reduced16.solve_reset(15, (8,), bias=bias).v_eff[(15, 8)]
+        assert fast == pytest.approx(exact, abs=0.02)
+
+    def test_dswd_bias(self, full16, reduced16):
+        bias = BiasScheme(name="dswd", bl_drive_both_ends=True)
+        exact = full16.solve_reset(15, (15,), bias=bias).v_eff[(15, 15)]
+        fast = reduced16.solve_reset(15, (15,), bias=bias).v_eff[(15, 15)]
+        assert fast == pytest.approx(exact, abs=0.02)
+
+    def test_elevated_drive_voltage(self, full16, reduced16):
+        exact = full16.solve_reset(15, (15,), v_applied=3.5).v_eff[(15, 15)]
+        fast = reduced16.solve_reset(15, (15,), v_applied=3.5).v_eff[(15, 15)]
+        assert fast == pytest.approx(exact, abs=0.03)
+
+
+class TestBiasSchemes:
+    def test_dsgb_reduces_wl_drop(self, reduced16, tiny_config):
+        a = tiny_config.array.size
+        base = reduced16.solve_reset(0, (a - 1,)).v_eff[(0, a - 1)]
+        dsgb = reduced16.solve_reset(
+            0, (a - 1,), bias=BiasScheme(name="dsgb", wl_ground_both_ends=True)
+        ).v_eff[(0, a - 1)]
+        assert dsgb > base
+
+    def test_dswd_reduces_bl_drop(self, reduced16, tiny_config):
+        a = tiny_config.array.size
+        base = reduced16.solve_reset(a - 1, (0,)).v_eff[(a - 1, 0)]
+        dswd = reduced16.solve_reset(
+            a - 1, (0,), bias=BiasScheme(name="dswd", bl_drive_both_ends=True)
+        ).v_eff[(a - 1, 0)]
+        assert dswd > base
+
+    def test_oracle_taps_beat_everything(self, reduced16, tiny_config):
+        a = tiny_config.array.size
+        bias = BiasScheme(name="ora", wl_tap_every=4, bl_tap_every=4)
+        plain = reduced16.solve_reset(a - 1, (a - 1,)).v_eff[(a - 1, a - 1)]
+        oracle = reduced16.solve_reset(a - 1, (a - 1,), bias=bias).v_eff[
+            (a - 1, a - 1)
+        ]
+        assert oracle > plain
+        assert oracle > 2.9

@@ -1,0 +1,78 @@
+"""Lumped word-line model tests (paper Fig. 8 / Fig. 11a)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.crosspoint import BiasScheme
+from repro.circuit.equivalent import WordlineDropModel
+from repro.config import default_config
+
+
+@pytest.fixture(scope="module")
+def model(paper_config):
+    return WordlineDropModel(paper_config, sneak_current=19e-6)
+
+
+class TestGeometry:
+    def test_distance_baseline(self, model):
+        assert model.distance(0) == 1.0
+        assert model.distance(511) == 512.0
+
+    def test_distance_dsgb_symmetric(self, model):
+        bias = BiasScheme(name="dsgb", wl_ground_both_ends=True)
+        near = model.distance(0, bias)
+        far = model.distance(511, bias)
+        assert near == pytest.approx(far, rel=1e-9)
+        centre = model.distance(255, bias)
+        assert centre > near
+
+    def test_distance_oracle_taps(self, model):
+        bias = BiasScheme(name="ora", wl_tap_every=64)
+        assert model.distance(63, bias) == 64.0
+        assert model.distance(64, bias) == 1.0
+        assert model.distance(511, bias) == 64.0
+
+    def test_distance_bounds_checked(self, model):
+        with pytest.raises(ValueError):
+            model.distance(512)
+
+
+class TestDrop:
+    def test_one_bit_drop_grows_with_distance(self, model):
+        drops = model.drop(np.arange(512), n_bits=1)
+        assert np.all(np.diff(drops) > 0)
+
+    def test_partition_sweet_spot(self, model):
+        # Fig. 11a: the far-column drop is minimised near N = 4.
+        far_drops = {n: model.drop(511, n_bits=n) for n in range(1, 9)}
+        best = min(far_drops, key=far_drops.get)
+        assert best == 4
+        assert far_drops[4] < far_drops[1]
+        assert far_drops[8] > far_drops[4]
+
+    def test_partitioning_hurts_near_columns(self, model):
+        # For cells near the decoder the companion current dominates.
+        assert model.drop(10, n_bits=8) > model.drop(10, n_bits=1)
+
+    def test_optimal_bits(self, model):
+        assert model.optimal_bits() == 4
+
+    def test_n_bits_validated(self, model):
+        with pytest.raises(ValueError):
+            model.drop(0, n_bits=0)
+
+    def test_negative_sneak_rejected(self, paper_config):
+        with pytest.raises(ValueError):
+            WordlineDropModel(paper_config, sneak_current=-1e-6)
+
+
+class TestCalibration:
+    def test_calibrate_matches_target(self, paper_config):
+        target = 0.654
+        model = WordlineDropModel.calibrate(paper_config, target)
+        a = paper_config.array.size
+        assert model.drop(a - 1, n_bits=1) == pytest.approx(target, rel=1e-9)
+
+    def test_calibrate_clamps_at_zero_sneak(self, paper_config):
+        model = WordlineDropModel.calibrate(paper_config, 1e-6)
+        assert model.sneak_current == 0.0

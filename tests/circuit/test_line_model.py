@@ -1,0 +1,74 @@
+"""Reduced-model behaviour tests on the workhorse 64x64 array."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.line_model import ReducedArrayModel
+
+
+@pytest.fixture(scope="module")
+def model(small_config):
+    return ReducedArrayModel(small_config)
+
+
+class TestProfiles:
+    def test_bl_profile_monotonic(self, model, small_config):
+        a = small_config.array.size
+        solution = model.solve_reset(a - 1, (0,))
+        profile = solution.bl_profiles[0]
+        # Voltage falls monotonically away from the write driver.
+        assert np.all(np.diff(profile) <= 1e-12)
+
+    def test_wl_profile_rises_towards_far_columns(self, model, small_config):
+        a = small_config.array.size
+        solution = model.solve_reset(0, (a - 1,))
+        profile = solution.wl_profile
+        assert profile[-1] > profile[0]
+        assert profile[0] < 0.2  # near the decoder ground
+
+    def test_total_wl_current_exceeds_cell_current(self, model, small_config):
+        a = small_config.array.size
+        solution = model.solve_reset(a - 1, (a - 1,))
+        assert solution.total_wl_current > small_config.cell.i_on
+
+    def test_worst_v_eff_helper(self, model, small_config):
+        a = small_config.array.size
+        solution = model.solve_reset(a - 1, (0, a - 1))
+        assert solution.worst_v_eff() == min(solution.v_eff.values())
+
+
+class TestVoltageKnobs:
+    def test_higher_drive_raises_v_eff(self, model, small_config):
+        a = small_config.array.size
+        low = model.effective_voltage(a - 1, a - 1, v_applied=3.0)
+        high = model.effective_voltage(a - 1, a - 1, v_applied=3.4)
+        assert high > low
+        # The cell current saturates, so nearly all the extra applied
+        # voltage reaches the cell.
+        assert (high - low) == pytest.approx(0.4, abs=0.06)
+
+    def test_per_column_drive_mapping(self, model, small_config):
+        a = small_config.array.size
+        cols = (0, a - 1)
+        drive = {0: 3.0, a - 1: 3.3}
+        solution = model.solve_reset(0, cols, v_applied=drive)
+        assert solution.v_eff[(0, a - 1)] > solution.v_eff[(0, 0)]
+
+    def test_reset_latency_wrapper(self, model, small_config):
+        a = small_config.array.size
+        fast = model.reset_latency(0, 0)
+        slow = model.reset_latency(a - 1, a - 1)
+        assert slow > fast
+
+
+class TestMultiBit:
+    def test_concurrent_cells_share_wl(self, model, small_config):
+        a = small_config.array.size
+        single = model.solve_reset(a - 1, (a - 1,))
+        multi = model.solve_reset(a - 1, tuple(range(7, a, 8)))
+        # More concurrent RESETs -> more coalesced WL current.
+        assert multi.total_wl_current > single.total_wl_current
+
+    def test_duplicate_columns_deduplicated(self, model):
+        solution = model.solve_reset(1, (5, 5, 5))
+        assert list(solution.v_eff) == [(1, 5)]

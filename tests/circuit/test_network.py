@@ -1,0 +1,133 @@
+"""Nodal solver tests: hand-checkable circuits and solver behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.network import GROUND, ConvergenceError, Network, Solution
+from repro.circuit.selector import OnStackModel
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        net = Network()
+        top, mid = net.add_nodes(2)
+        net.fix_voltage(top, 2.0)
+        net.add_resistor(top, mid, 100.0)
+        net.add_resistor(mid, GROUND, 100.0)
+        solution = net.solve()
+        assert solution.voltage(mid) == pytest.approx(1.0, abs=1e-9)
+
+    def test_unequal_divider(self):
+        net = Network()
+        top, mid = net.add_nodes(2)
+        net.fix_voltage(top, 3.0)
+        net.add_resistor(top, mid, 100.0)
+        net.add_resistor(mid, GROUND, 200.0)
+        solution = net.solve()
+        assert solution.voltage(mid) == pytest.approx(2.0, abs=1e-9)
+
+    def test_ladder_linear_profile(self):
+        # A uniform resistor chain between two sources drops linearly.
+        net = Network()
+        nodes = net.add_nodes(5)
+        source = net.add_node()
+        net.fix_voltage(source, 1.0)
+        chain = [source] + nodes
+        for a, b in zip(chain, chain[1:]):
+            net.add_resistor(a, b, 10.0)
+        net.add_resistor(nodes[-1], GROUND, 10.0)
+        solution = net.solve()
+        profile = [solution.voltage(n) for n in nodes]
+        diffs = np.diff([1.0] + profile + [0.0])
+        assert np.allclose(diffs, diffs[0])
+
+    def test_parallel_resistors(self):
+        net = Network()
+        mid = net.add_node()
+        top = net.add_node()
+        net.fix_voltage(top, 1.0)
+        net.add_resistor(top, mid, 100.0)
+        net.add_resistor(mid, GROUND, 300.0)
+        net.add_resistor(mid, GROUND, 300.0)  # parallel -> 150 ohm
+        solution = net.solve()
+        assert solution.voltage(mid) == pytest.approx(0.6, abs=1e-9)
+
+
+class TestNonlinearCircuits:
+    def test_current_source_load_drop(self):
+        # A saturating 90 uA load behind 1 kohm drops 90 mV.
+        net = Network()
+        node = net.add_node()
+        source = net.add_node()
+        net.fix_voltage(source, 3.0)
+        net.add_resistor(source, node, 1000.0)
+        net.add_device(node, GROUND, OnStackModel(i_on=90e-6))
+        solution = net.solve()
+        assert solution.voltage(node) == pytest.approx(3.0 - 0.09, abs=1e-3)
+
+    def test_device_current_query(self):
+        net = Network()
+        node = net.add_node()
+        source = net.add_node()
+        net.fix_voltage(source, 3.0)
+        net.add_resistor(source, node, 1000.0)
+        handle = net.add_device(node, GROUND, OnStackModel(i_on=90e-6))
+        solution = net.solve()
+        assert net.device_current(solution, handle) == pytest.approx(
+            90e-6, rel=1e-3
+        )
+
+    def test_kcl_residual_small(self):
+        net = Network()
+        node = net.add_node()
+        source = net.add_node()
+        net.fix_voltage(source, 2.0)
+        net.add_resistor(source, node, 500.0)
+        net.add_device(node, GROUND, OnStackModel(i_on=50e-6))
+        solution = net.solve()
+        assert solution.residual_norm < 1e-9
+
+
+class TestValidation:
+    def test_unknown_node_rejected(self):
+        net = Network()
+        net.add_node()
+        with pytest.raises(ValueError):
+            net.add_resistor(0, 5, 10.0)
+
+    def test_nonpositive_resistance_rejected(self):
+        net = Network()
+        a, b = net.add_nodes(2)
+        with pytest.raises(ValueError):
+            net.add_resistor(a, b, 0.0)
+
+    def test_cannot_pin_ground(self):
+        net = Network()
+        net.add_node()
+        with pytest.raises(ValueError):
+            net.fix_voltage(GROUND, 1.0)
+
+    def test_no_free_nodes_rejected(self):
+        net = Network()
+        node = net.add_node()
+        net.fix_voltage(node, 1.0)
+        with pytest.raises(ValueError):
+            net.solve()
+
+    def test_initial_guess_length_checked(self):
+        net = Network()
+        a, b = net.add_nodes(2)
+        net.fix_voltage(a, 1.0)
+        net.add_resistor(a, b, 10.0)
+        net.add_resistor(b, GROUND, 10.0)
+        with pytest.raises(ValueError):
+            net.solve(initial=np.zeros(5))
+
+    def test_resistor_current_query(self):
+        net = Network()
+        a, b = net.add_nodes(2)
+        net.fix_voltage(a, 1.0)
+        net.add_resistor(a, b, 100.0)
+        net.add_resistor(b, GROUND, 100.0)
+        solution = net.solve()
+        assert net.resistor_current(solution, 0) == pytest.approx(5e-3)

@@ -1,0 +1,117 @@
+"""Selector J-V model tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import SelectorParams
+from repro.circuit.selector import (
+    OnStackModel,
+    SelectorModel,
+    fit_selectivity_shape,
+)
+
+
+@pytest.fixture(scope="module")
+def selector():
+    return SelectorModel.from_params(SelectorParams(), i_on=90e-6, v_full=3.0)
+
+
+class TestFitSelectivityShape:
+    def test_recovers_target_ratio(self):
+        b = fit_selectivity_shape(1000.0, 3.0)
+        ratio = math.sinh(b * 3.0) / math.sinh(b * 1.5)
+        assert ratio == pytest.approx(1000.0, rel=1e-9)
+
+    def test_steeper_for_higher_selectivity(self):
+        assert fit_selectivity_shape(2000.0, 3.0) > fit_selectivity_shape(
+            500.0, 3.0
+        )
+
+    def test_rejects_degenerate_selectivity(self):
+        with pytest.raises(ValueError):
+            fit_selectivity_shape(1.5, 3.0)
+
+
+class TestSelectorModel:
+    def test_half_select_current_is_ion_over_kr(self, selector):
+        # The leakage cap sits at the nominal half-select point, so the
+        # tanh compresses it slightly below Ion/Kr.
+        assert selector.half_select_current <= 90e-6 / 1000.0
+        assert selector.half_select_current >= 0.7 * 90e-6 / 1000.0
+
+    def test_odd_symmetry(self, selector):
+        for v in (0.3, 1.5, 2.7):
+            assert selector.current(-v) == pytest.approx(-selector.current(v))
+
+    def test_monotonic_current(self, selector):
+        voltages = np.linspace(-3.5, 3.5, 101)
+        currents = np.asarray(selector.current(voltages))
+        # Non-decreasing everywhere (the leakage cap flattens the tails),
+        # strictly increasing through the subthreshold region.
+        assert np.all(np.diff(currents) >= 0)
+        sub = (voltages > -1.6) & (voltages < 1.6)
+        assert np.all(np.diff(currents[sub]) > 0)
+
+    def test_conductance_matches_numeric_derivative(self, selector):
+        # Exact in the subthreshold region; the saturated branch is
+        # floored (see below), so it is excluded here.
+        for v in (0.5, 1.2, 1.5):
+            h = 1e-6
+            numeric = (selector.current(v + h) - selector.current(v - h)) / (2 * h)
+            assert selector.conductance(v) == pytest.approx(numeric, rel=1e-4)
+
+    def test_conductance_floored_when_saturated(self, selector):
+        # Deep saturation would give dI/dV = 0; the model floors it at
+        # the zero-bias slope to keep Newton Jacobians nonsingular.
+        assert selector.conductance(3.0) == pytest.approx(
+            selector.i0 * selector.b, rel=1e-6
+        )
+
+    def test_leakage_saturates_above_half_select(self, selector):
+        # Past the knee the subthreshold branch flattens: raising the
+        # bias by 50% may not even double the leak.
+        assert selector.current(2.25) < 2.0 * selector.current(1.5)
+
+    def test_scaled_preserves_shape(self, selector):
+        doubled = selector.scaled(2.0)
+        for v in (0.5, 1.5, 2.5):
+            assert doubled.current(v) == pytest.approx(
+                2.0 * selector.current(v), rel=1e-9
+            )
+
+    def test_current_and_conductance_agree(self, selector):
+        i, g = selector.current_and_conductance(1.2)
+        assert i == pytest.approx(float(selector.current(1.2)))
+        assert g == pytest.approx(float(selector.conductance(1.2)))
+
+    @given(st.floats(min_value=-3.0, max_value=3.0))
+    def test_conductance_positive(self, v):
+        selector = SelectorModel.from_params(
+            SelectorParams(), i_on=90e-6, v_full=3.0
+        )
+        assert selector.conductance(v) > 0
+
+
+class TestOnStackModel:
+    def test_saturates_at_ion(self):
+        stack = OnStackModel(i_on=90e-6)
+        assert stack.current(3.0) == pytest.approx(90e-6, rel=1e-3)
+        # Still within a fraction of a percent at the write-fail floor.
+        assert stack.current(1.7) == pytest.approx(90e-6, rel=5e-3)
+
+    def test_odd_and_monotonic(self):
+        stack = OnStackModel(i_on=90e-6)
+        voltages = np.linspace(-3, 3, 61)
+        currents = np.asarray(stack.current(voltages))
+        assert np.all(np.diff(currents) >= 0)
+        assert stack.current(-2.0) == pytest.approx(-stack.current(2.0))
+
+    def test_conductance_matches_numeric_derivative(self):
+        stack = OnStackModel(i_on=90e-6)
+        for v in (0.1, 0.4, 1.0):
+            h = 1e-7
+            numeric = (stack.current(v + h) - stack.current(v - h)) / (2 * h)
+            assert stack.conductance(v) == pytest.approx(numeric, rel=1e-4)

@@ -1,0 +1,87 @@
+"""Property-based tests on the nodal solver and drop monotonicity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.line_model import ReducedArrayModel
+from repro.circuit.network import GROUND, Network
+from repro.config import default_config
+
+
+def ladder(resistances, v_source):
+    """Build a series ladder source -> r1 -> r2 ... -> ground."""
+    net = Network()
+    source = net.add_node()
+    net.fix_voltage(source, v_source)
+    previous = source
+    nodes = []
+    for r in resistances:
+        node = net.add_node()
+        net.add_resistor(previous, node, r)
+        nodes.append(node)
+        previous = node
+    net.add_resistor(previous, GROUND, resistances[-1])
+    return net, nodes
+
+
+class TestLinearSolverProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        resistances=st.lists(
+            st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=8
+        ),
+        v_source=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_series_ladder_is_monotone_divider(self, resistances, v_source):
+        net, nodes = ladder(resistances, v_source)
+        solution = net.solve()
+        profile = [v_source] + [solution.voltage(n) for n in nodes] + [0.0]
+        diffs = np.diff(profile)
+        assert np.all(diffs <= 1e-9)  # voltage only falls towards ground
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        resistances=st.lists(
+            st.floats(min_value=1.0, max_value=1e4), min_size=2, max_size=6
+        ),
+        scale=st.floats(min_value=0.5, max_value=3.0),
+    )
+    def test_linearity_in_source_voltage(self, resistances, scale):
+        # Pure resistor networks are linear: scaling the source scales
+        # every node voltage identically.
+        net1, nodes1 = ladder(resistances, 1.0)
+        net2, nodes2 = ladder(resistances, scale)
+        s1 = net1.solve()
+        s2 = net2.solve()
+        for n1, n2 in zip(nodes1, nodes2):
+            assert s2.voltage(n2) == pytest.approx(
+                scale * s1.voltage(n1), rel=1e-6, abs=1e-9
+            )
+
+
+class TestDropMonotonicity:
+    """Physical sanity on the cross-point model."""
+
+    @pytest.mark.parametrize("scale", [0.5, 2.0])
+    def test_wire_resistance_scales_drop(self, scale):
+        base = default_config(size=32)
+        harder = base.with_array(r_wire=base.array.r_wire * scale)
+        v_base = ReducedArrayModel(base).effective_voltage(31, 31)
+        v_scaled = ReducedArrayModel(harder).effective_voltage(31, 31)
+        if scale > 1:
+            assert v_scaled < v_base
+        else:
+            assert v_scaled > v_base
+
+    def test_sneak_scales_drop(self):
+        base = default_config(size=32)
+        leaky = base.with_array(sneak_boost=base.array.sneak_boost * 3)
+        v_base = ReducedArrayModel(base).effective_voltage(31, 31)
+        v_leaky = ReducedArrayModel(leaky).effective_voltage(31, 31)
+        assert v_leaky < v_base
+
+    def test_drop_monotone_in_position(self):
+        model = ReducedArrayModel(default_config(size=32))
+        voltages = [model.effective_voltage(r, r) for r in (0, 10, 20, 31)]
+        assert voltages == sorted(voltages, reverse=True)

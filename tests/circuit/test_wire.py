@@ -1,0 +1,56 @@
+"""Wire-resistance scaling tests (Fig. 1e)."""
+
+import pytest
+
+from repro.circuit.wire import (
+    REFERENCE_NODE_NM,
+    REFERENCE_RESISTANCE,
+    resistivity_scale,
+    wire_resistance,
+    wire_resistance_table,
+)
+
+
+class TestWireResistance:
+    def test_reference_anchor(self):
+        assert wire_resistance(REFERENCE_NODE_NM) == pytest.approx(
+            REFERENCE_RESISTANCE
+        )
+
+    def test_monotonic_increase_with_shrink(self):
+        nodes = [60, 45, 32, 22, 20, 16, 10]
+        values = [wire_resistance(n) for n in nodes]
+        assert values == sorted(values)
+
+    def test_superlinear_growth(self):
+        # Halving the node more than doubles the resistance (size effect).
+        assert wire_resistance(10) > 2 * wire_resistance(20)
+
+    def test_sweep_endpoints_sane(self):
+        # Fig. 19 sweep points: 32 nm mild, 10 nm severe.
+        assert wire_resistance(32) < 7.0
+        assert wire_resistance(10) > 25.0
+
+    def test_rejects_nonpositive_node(self):
+        with pytest.raises(ValueError):
+            wire_resistance(0)
+        with pytest.raises(ValueError):
+            wire_resistance(-5)
+
+
+class TestResistivityScale:
+    def test_increases_below_mean_free_path(self):
+        assert resistivity_scale(10) > resistivity_scale(40) > 1.0
+
+    def test_approaches_bulk_for_wide_wires(self):
+        assert resistivity_scale(1000) == pytest.approx(1.0, abs=0.05)
+
+
+class TestTable:
+    def test_default_contains_sweep_nodes(self):
+        table = wire_resistance_table()
+        assert 20.0 in table and 10.0 in table and 32.0 in table
+
+    def test_custom_nodes(self):
+        table = wire_resistance_table([20.0])
+        assert table == {20.0: pytest.approx(11.5)}

@@ -1,0 +1,25 @@
+"""Shared fixtures: small array configurations keep circuit solves fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import default_config
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """16x16 array: fast enough for exact full-network solves."""
+    return default_config(size=16)
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """64x64 array: the workhorse size for technique-level tests."""
+    return default_config(size=64)
+
+
+@pytest.fixture(scope="session")
+def paper_config():
+    """The paper's 512x512 baseline (Tables I and III)."""
+    return default_config()

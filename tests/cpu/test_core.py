@@ -1,0 +1,58 @@
+"""Interval core model tests."""
+
+import pytest
+
+from repro.config import CpuParams
+from repro.cpu.core import CoreState
+
+
+@pytest.fixture()
+def core():
+    return CoreState(params=CpuParams(), core_id=0)
+
+
+class TestCompute:
+    def test_base_cpi(self, core):
+        core.advance_compute(1000)
+        assert core.instructions == 1000
+        assert core.ipc == pytest.approx(1.0 / core.params.base_cpi)
+
+    def test_negative_rejected(self, core):
+        with pytest.raises(ValueError):
+            core.advance_compute(-1)
+
+
+class TestStalls:
+    def test_fixed_stall_cycles(self, core):
+        core.advance_compute(100)
+        before = core.cycles
+        core.stall_cycles(96)
+        assert core.cycles == pytest.approx(before + 96)
+
+    def test_read_stall_discounted_by_mlp(self, core):
+        core.effective_mlp = 4.0
+        core.advance_compute(100)
+        issue = core.time_s
+        core.stall_for_read(issue, issue + 400e-9)
+        assert core.time_s == pytest.approx(issue + 100e-9)
+        assert core.stall_s == pytest.approx(100e-9)
+
+    def test_read_completion_in_past_costs_nothing(self, core):
+        core.advance_compute(100)
+        now = core.time_s
+        core.stall_for_read(now - 1e-6, now - 0.5e-6)
+        assert core.time_s == now
+
+    def test_stall_until(self, core):
+        core.advance_compute(10)
+        target = core.time_s + 5e-6
+        core.stall_until(target)
+        assert core.time_s == target
+        core.stall_until(target - 1e-6)  # never goes backwards
+        assert core.time_s == target
+
+    def test_ipc_reflects_stalls(self, core):
+        core.advance_compute(1000)
+        unstalled = core.ipc
+        core.stall_cycles(1000)
+        assert core.ipc < unstalled

@@ -1,0 +1,57 @@
+"""Cache hierarchy tests."""
+
+import pytest
+
+from repro.cpu.hierarchy import CoreCacheHierarchy
+
+
+@pytest.fixture()
+def hierarchy(paper_config):
+    # Shrink the caches so tests exercise evictions quickly.
+    params = paper_config.with_cpu(
+        l1_bytes=1 << 10, l2_bytes=4 << 10, l3_bytes_per_core=16 << 10
+    ).cpu
+    return CoreCacheHierarchy(params)
+
+
+class TestFullPath:
+    def test_first_access_misses_to_memory(self, hierarchy):
+        outcome = hierarchy.access_full(0, False)
+        assert outcome.level == "MEM"
+        assert outcome.memory_read
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access_full(0, False)
+        assert hierarchy.access_full(0, False).level == "L1"
+
+    def test_l1_victim_falls_to_l2(self, hierarchy):
+        # Touch enough sequential lines to overflow L1 (16 lines) but
+        # stay within L2 (64 lines).
+        for i in range(32):
+            hierarchy.access_full(i * 64, False)
+        levels = {hierarchy.access_full(i * 64, False).level for i in range(4)}
+        assert levels <= {"L1", "L2", "L3"}
+
+
+class TestL3Path:
+    def test_write_miss_allocates_without_fetch(self, hierarchy):
+        outcome = hierarchy.access_l3(0, True)
+        assert outcome.level == "MEM"
+        assert not outcome.memory_read
+
+    def test_read_miss_fetches(self, hierarchy):
+        outcome = hierarchy.access_l3(64, False)
+        assert outcome.memory_read
+
+    def test_dirty_victims_become_memory_writes(self, hierarchy):
+        # Fill the 16 KB L3 (256 lines) with dirty lines, then evict.
+        writebacks = 0
+        for i in range(1024):
+            outcome = hierarchy.access_l3(i * 64, True)
+            if outcome.writeback_address is not None:
+                writebacks += 1
+        assert writebacks > 500
+
+    def test_hit_after_allocate(self, hierarchy):
+        hierarchy.access_l3(128, True)
+        assert hierarchy.access_l3(128, False).level == "L3"

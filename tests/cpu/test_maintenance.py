@@ -1,0 +1,77 @@
+"""Maintenance-write and retry-clamp behaviour tests."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import SelectorParams
+from repro.cpu.system import SystemSimulator
+from repro.techniques import SchemeLatencyModel, make_baseline
+from repro.techniques.base import WRITE_RETRY_LATENCY
+from repro.workloads import get_benchmark
+from repro.workloads.benchmarks import scale_benchmark
+
+SCALE = 512
+
+
+@pytest.fixture(scope="module")
+def setup(paper_config):
+    config = paper_config.with_cpu(
+        l3_bytes_per_core=paper_config.cpu.l3_bytes_per_core // SCALE
+    )
+    bench = scale_benchmark(get_benchmark("mcf_m"), SCALE)
+    return config, bench
+
+
+class TestMaintenanceWrites:
+    def test_rate_increases_memory_writes(self, setup):
+        config, bench = setup
+        base = make_baseline(config)
+        noisy = replace(base, maintenance_write_rate=0.5)
+        quiet = replace(base, maintenance_write_rate=0.0)
+
+        def writes(scheme):
+            return (
+                SystemSimulator(
+                    config, scheme, bench,
+                    accesses_per_core=1500, seed=5, warmup_accesses=1000,
+                )
+                .run()
+                .stats.writes
+            )
+
+        assert writes(noisy) > writes(quiet)
+
+    def test_demand_traffic_unchanged(self, setup):
+        config, bench = setup
+        base = make_baseline(config)
+        noisy = replace(base, maintenance_write_rate=0.5)
+
+        def reads(scheme):
+            return (
+                SystemSimulator(
+                    config, scheme, bench,
+                    accesses_per_core=1500, seed=5, warmup_accesses=1000,
+                )
+                .run()
+                .stats.reads
+            )
+
+        # Maintenance writes must not perturb the demand-side trace.
+        assert reads(noisy) == reads(base)
+
+
+class TestRetryClamp:
+    def test_leaky_selector_hits_clamp_not_infinity(self, paper_config):
+        # Kr = 500 pushes the far corner below the 1.7 V write floor;
+        # the latency table must charge the retry bound, not inf.
+        config = paper_config.with_array(selector=SelectorParams(kr=500.0))
+        model = SchemeLatencyModel(config, make_baseline(config))
+        worst = model.worst_case_write_latency()
+        assert np.isfinite(worst)
+        assert worst <= WRITE_RETRY_LATENCY + model.set_latency + 1e-9
+
+    def test_baseline_never_clamped(self, paper_config):
+        model = SchemeLatencyModel(paper_config, make_baseline(paper_config))
+        assert model.table.max() < WRITE_RETRY_LATENCY

@@ -1,0 +1,65 @@
+"""Address mapping and DIMM geometry tests."""
+
+import numpy as np
+import pytest
+
+from repro.mem.dimm import AddressMapping
+from repro.mem.timing import MemoryTiming
+
+
+class TestAddressMapping:
+    @pytest.fixture(scope="class")
+    def mapping(self, paper_config):
+        return AddressMapping(paper_config.memory, paper_config.array.size)
+
+    def test_coordinates_in_range(self, mapping, paper_config):
+        memory = paper_config.memory
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            address = int(rng.integers(0, memory.capacity_bytes)) & ~63
+            loc = mapping.locate(address)
+            assert 0 <= loc.channel < memory.channels
+            assert 0 <= loc.rank < memory.ranks_per_channel
+            assert 0 <= loc.bank < memory.banks_per_rank
+            assert 0 <= loc.row < paper_config.array.size
+
+    def test_deterministic(self, mapping):
+        assert mapping.locate(4096) == mapping.locate(4096)
+
+    def test_sequential_lines_interleave_banks(self, mapping, paper_config):
+        banks = {
+            mapping.locate(i * 64).bank
+            for i in range(paper_config.memory.banks_per_rank)
+        }
+        assert len(banks) == paper_config.memory.banks_per_rank
+
+    def test_rows_roughly_uniform(self, mapping, paper_config):
+        rows = [mapping.locate(i * 64 * 8).row for i in range(4000)]
+        counts = np.bincount(rows, minlength=paper_config.array.size)
+        # No row should dominate under the mixing hash.
+        assert counts.max() < 10 * max(1, counts.mean())
+
+    def test_scheduling_places_hot_lines_low(self, paper_config):
+        mapping = AddressMapping(
+            paper_config.memory, paper_config.array.size, scheduling=True
+        )
+        hot = mapping.locate(0, hotness_rank=0.0)
+        cold = mapping.locate(0, hotness_rank=0.99)
+        assert hot.row == 0
+        assert cold.row > paper_config.array.size // 2
+
+    def test_negative_address_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            mapping.locate(-64)
+
+
+class TestTiming:
+    def test_composite_latencies(self, paper_config):
+        timing = MemoryTiming.from_params(paper_config.memory, paper_config.cpu)
+        assert timing.read_service == pytest.approx(28e-9)  # tRCD + tCL
+        assert timing.mc_to_bank == pytest.approx(64 / 3.2e9)
+        assert timing.read_latency > timing.read_service
+        # 64B over a 64-bit DDR-1066 channel: 8 beats at ~0.47 ns.
+        assert timing.bus_transfer == pytest.approx(
+            8 / (1066e6 * 2), rel=1e-6
+        )

@@ -1,0 +1,55 @@
+"""Error-correcting pointer tests."""
+
+import pytest
+
+from repro.mem.ecp import EcpLine, ecp_lifetime_factor
+
+
+class TestEcpLine:
+    def test_survives_up_to_pointer_count(self):
+        line = EcpLine(line_bits=512, pointers=6)
+        for bit in range(6):
+            line.record_cell_failure(bit)
+            assert not line.is_dead
+        line.record_cell_failure(6)
+        assert line.is_dead
+
+    def test_repeated_failure_idempotent(self):
+        line = EcpLine(pointers=2)
+        for _ in range(5):
+            line.record_cell_failure(3)
+        assert line.failed_cells == 1
+        assert line.remaining_pointers == 1
+
+    def test_zero_pointer_line_dies_immediately(self):
+        line = EcpLine(pointers=0)
+        line.record_cell_failure(0)
+        assert line.is_dead
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EcpLine(line_bits=0)
+        with pytest.raises(ValueError):
+            EcpLine(pointers=-1)
+        line = EcpLine(line_bits=8)
+        with pytest.raises(ValueError):
+            line.record_cell_failure(8)
+
+
+class TestLifetimeFactor:
+    def test_no_pointers_no_extension(self):
+        assert ecp_lifetime_factor(pointers=0) == 1.0
+
+    def test_modest_extension_with_defaults(self):
+        factor = ecp_lifetime_factor()
+        assert 1.0 < factor < 1.5
+
+    def test_more_pointers_more_extension(self):
+        assert ecp_lifetime_factor(pointers=12) > ecp_lifetime_factor(pointers=3)
+
+    def test_zero_variance_no_extension(self):
+        assert ecp_lifetime_factor(endurance_cv=0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ecp_lifetime_factor(endurance_cv=1.5)

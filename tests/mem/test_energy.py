@@ -1,0 +1,73 @@
+"""Energy model tests (Fig. 16 structure)."""
+
+import pytest
+
+from repro.mem.controller import ControllerStats
+from repro.mem.energy import EnergyModel
+from repro.techniques import make_baseline, make_hard_sys, make_udrvr_pr
+
+
+def stats_with(reads=0, writes=0, reset_j=0.0, set_j=0.0, charges=0, busy=0.0):
+    stats = ControllerStats()
+    stats.reads = reads
+    stats.writes = writes
+    stats.reset_energy_j = reset_j
+    stats.set_energy_j = set_j
+    stats.pump_charges = charges
+    stats.busy_time = busy
+    return stats
+
+
+class TestComponents:
+    def test_read_energy_per_line(self, paper_config):
+        model = EnergyModel(paper_config, make_baseline(paper_config))
+        report = model.report(stats_with(reads=1000), elapsed_s=0.0)
+        assert report.read == pytest.approx(1000 * 5.6e-9)
+
+    def test_write_energy_through_pump_efficiency(self, paper_config):
+        model = EnergyModel(paper_config, make_baseline(paper_config))
+        report = model.report(stats_with(reset_j=1e-6, set_j=1e-6), 0.0)
+        assert report.write == pytest.approx(2e-6 / 0.33)
+
+    def test_pump_charge_energy(self, paper_config):
+        model = EnergyModel(paper_config, make_baseline(paper_config))
+        report = model.report(stats_with(charges=10), 0.0)
+        assert report.pump == pytest.approx(10 * (17.8e-9 + 13.1e-9))
+
+    def test_leakage_scales_with_time(self, paper_config):
+        model = EnergyModel(paper_config, make_baseline(paper_config))
+        short = model.report(stats_with(), 1e-3).leakage
+        long = model.report(stats_with(), 2e-3).leakage
+        assert long == pytest.approx(2 * short)
+
+    def test_negative_time_rejected(self, paper_config):
+        model = EnergyModel(paper_config, make_baseline(paper_config))
+        with pytest.raises(ValueError):
+            model.report(stats_with(), -1.0)
+
+
+class TestSchemeComparisons:
+    def test_hard_sys_leaks_more(self, paper_config):
+        """The Fig. 16 headline driver: Hard's peripherals leak."""
+        hard = EnergyModel(paper_config, make_hard_sys(paper_config))
+        ours = EnergyModel(paper_config, make_udrvr_pr(paper_config))
+        window = 1e-3
+        hard_leak = hard.report(stats_with(), window).leakage
+        ours_leak = ours.report(stats_with(), window).leakage
+        assert hard_leak > 1.4 * ours_leak
+
+    def test_activity_raises_leakage_duty(self, paper_config):
+        model = EnergyModel(paper_config, make_baseline(paper_config))
+        idle = model.report(stats_with(busy=0.0), 1e-3).leakage
+        banks = paper_config.memory.total_banks
+        busy = model.report(stats_with(busy=1e-3 * banks), 1e-3).leakage
+        assert busy > idle
+
+    def test_total_sums_components(self, paper_config):
+        model = EnergyModel(paper_config, make_baseline(paper_config))
+        report = model.report(
+            stats_with(reads=10, reset_j=1e-9, charges=2), 1e-4
+        )
+        assert report.total == pytest.approx(
+            report.read + report.write + report.pump + report.leakage
+        )

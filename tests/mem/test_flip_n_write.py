@@ -1,0 +1,98 @@
+"""Flip-N-Write codec tests, including the halved-write-bound invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.flip_n_write import FlipNWrite
+
+
+@pytest.fixture()
+def codec():
+    return FlipNWrite(word_bits=32)
+
+
+def random_bits(rng, n=512):
+    return rng.random(n) < 0.5
+
+
+class TestEncoding:
+    def test_initial_image_plain(self, codec):
+        rng = np.random.default_rng(0)
+        bits = random_bits(rng)
+        image = codec.initial_image(bits)
+        assert np.array_equal(image.cells, bits)
+        assert not image.flips.any()
+
+    def test_roundtrip_recovers_data(self, codec):
+        rng = np.random.default_rng(1)
+        stored = codec.initial_image(random_bits(rng))
+        new_bits = random_bits(rng)
+        image = codec.encode(new_bits, stored)
+        assert np.array_equal(image.logical_bits(32), new_bits)
+
+    def test_unchanged_write_touches_nothing(self, codec):
+        rng = np.random.default_rng(2)
+        bits = random_bits(rng)
+        stored = codec.initial_image(bits)
+        _, resets, sets = codec.write(bits, stored)
+        assert not resets.any()
+        assert not sets.any()
+
+    def test_inverted_word_uses_flip_bit(self, codec):
+        bits = np.zeros(512, dtype=bool)
+        stored = codec.initial_image(bits)
+        new_bits = bits.copy()
+        new_bits[:32] = True  # fully inverted first word
+        image, resets, sets = codec.write(new_bits, stored)
+        assert image.flips[0]
+        # The flip bit absorbs the whole word: zero cell writes.
+        assert not resets.any() and not sets.any()
+
+    def test_validation(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros(33, dtype=bool), codec.initial_image(np.zeros(64, dtype=bool)))
+        with pytest.raises(ValueError):
+            FlipNWrite(word_bits=1)
+
+
+class TestInvariants:
+    @settings(max_examples=50)
+    @given(data=st.data())
+    def test_writes_bounded_by_half(self, data):
+        codec = FlipNWrite(word_bits=8)
+        old = np.array(
+            data.draw(st.lists(st.booleans(), min_size=64, max_size=64))
+        )
+        new = np.array(
+            data.draw(st.lists(st.booleans(), min_size=64, max_size=64))
+        )
+        stored = codec.initial_image(old)
+        image, resets, sets = codec.write(new, stored)
+        # Flip-N-Write's guarantee: at most half the cells of each word
+        # change (plus nothing on unchanged words).
+        changed = (resets | sets).reshape(-1, 8).sum(axis=1)
+        assert changed.max() <= 4
+        assert np.array_equal(image.logical_bits(8), new)
+
+    @settings(max_examples=50)
+    @given(data=st.data())
+    def test_reset_set_disjoint(self, data):
+        codec = FlipNWrite(word_bits=8)
+        old = np.array(
+            data.draw(st.lists(st.booleans(), min_size=32, max_size=32))
+        )
+        new = np.array(
+            data.draw(st.lists(st.booleans(), min_size=32, max_size=32))
+        )
+        _, resets, sets = codec.write(new, codec.initial_image(old))
+        assert not (resets & sets).any()
+
+    def test_sequential_writes_stay_consistent(self):
+        codec = FlipNWrite(word_bits=16)
+        rng = np.random.default_rng(3)
+        stored = codec.initial_image(random_bits(rng, 128))
+        for _ in range(20):
+            new_bits = random_bits(rng, 128)
+            stored, resets, sets = codec.write(new_bits, stored)
+            assert np.array_equal(stored.logical_bits(16), new_bits)

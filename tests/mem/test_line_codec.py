@@ -1,0 +1,98 @@
+"""Line-to-MAT write model tests."""
+
+import numpy as np
+import pytest
+
+from repro.mem.line_codec import LineWriteModel
+from repro.techniques import make_baseline, make_dbl, make_udrvr_pr
+
+
+@pytest.fixture(scope="module")
+def base_model(small_config):
+    return LineWriteModel(small_config, make_baseline(small_config))
+
+
+def masks_for(line_bits, reset_positions=(), set_positions=()):
+    resets = np.zeros(line_bits, dtype=bool)
+    sets = np.zeros(line_bits, dtype=bool)
+    resets[list(reset_positions)] = True
+    sets[list(set_positions)] = True
+    return resets, sets
+
+
+class TestBaseline:
+    def test_empty_write(self, base_model, small_config):
+        line_bits = small_config.memory.line_bytes * 8
+        result = base_model.write(*masks_for(line_bits), row=0)
+        assert result.latency == 0.0
+        assert result.total_writes == 0
+
+    def test_counts_match_masks(self, base_model, small_config):
+        line_bits = small_config.memory.line_bytes * 8
+        resets, sets = masks_for(line_bits, (0, 9, 100), (5, 200))
+        result = base_model.write(resets, sets, row=0)
+        assert result.reset_bits == 3
+        assert result.set_bits == 2
+        assert result.extra_resets == 0
+        assert result.concurrent_resets == 3
+
+    def test_latency_is_slowest_mat(self, base_model, small_config):
+        line_bits = small_config.memory.line_bytes * 8
+        near, _ = masks_for(line_bits, (0,))
+        far, _ = masks_for(line_bits, (7,))  # far group of MAT 0
+        zero = np.zeros(line_bits, dtype=bool)
+        fast = base_model.write(near, zero, row=0).latency
+        slow = base_model.write(far, zero, row=0).latency
+        assert slow > fast
+        # A combined 2-bit write partitions the WL (Fig. 8b), so it can
+        # be *faster* than the lone far-group RESET — but never faster
+        # than the near-group one.
+        both = near | far
+        combined = base_model.write(both, zero, row=0).latency
+        assert fast < combined <= slow
+
+    def test_reset_energy_positive_and_scales(self, base_model, small_config):
+        line_bits = small_config.memory.line_bytes * 8
+        one, _ = masks_for(line_bits, (7,))
+        many, _ = masks_for(line_bits, (7, 15, 23, 31))
+        zero = np.zeros(line_bits, dtype=bool)
+        e1 = base_model.write(one, zero, row=0).reset_energy
+        e4 = base_model.write(many, zero, row=0).reset_energy
+        assert e1 > 0
+        assert e4 > e1
+
+    def test_set_energy_from_table_iii(self, base_model, small_config):
+        line_bits = small_config.memory.line_bytes * 8
+        resets, sets = masks_for(line_bits, (), (0, 1, 2))
+        result = base_model.write(resets, sets, row=0)
+        assert result.set_energy == pytest.approx(
+            3 * small_config.cell.e_set_per_bit
+        )
+
+
+class TestSchemesThroughCodec:
+    def test_pr_adds_pairs(self, small_config):
+        model = LineWriteModel(small_config, make_udrvr_pr(small_config))
+        line_bits = small_config.memory.line_bytes * 8
+        resets, sets = masks_for(line_bits, (7,))
+        result = model.write(resets, sets, row=0)
+        assert result.extra_resets == 3
+        assert result.extra_sets == 3
+        assert result.total_resets == 4
+
+    def test_dbl_adds_dummies_without_sets(self, small_config):
+        model = LineWriteModel(small_config, make_dbl(small_config))
+        line_bits = small_config.memory.line_bytes * 8
+        resets, sets = masks_for(line_bits, (0,))
+        result = model.write(resets, sets, row=0)
+        assert result.extra_resets == 7
+        assert result.extra_sets == 0
+        assert result.concurrent_resets == 8
+
+    def test_plan_cache_stability(self, base_model, small_config):
+        line_bits = small_config.memory.line_bytes * 8
+        resets, sets = masks_for(line_bits, (3, 11), (4,))
+        first = base_model.write(resets, sets, row=5)
+        second = base_model.write(resets, sets, row=5)
+        assert first.latency == second.latency
+        assert first.reset_energy == second.reset_energy

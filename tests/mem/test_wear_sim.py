@@ -1,0 +1,88 @@
+"""Failure-injection tests: the Monte-Carlo wear simulator vs the
+analytic lifetime model."""
+
+import pytest
+
+from repro.mem.wear_sim import WearSimParams, WearSimResult, WearSimulator
+
+
+def run(params, seed=0):
+    return WearSimulator(params, seed=seed).run()
+
+
+class TestBasics:
+    def test_failure_eventually_happens(self):
+        result = run(WearSimParams(lines=64, mean_endurance=500.0))
+        assert result.line_writes_to_failure > 0
+        assert 0 <= result.failed_line < 64
+        assert result.total_cell_writes > 0
+
+    def test_deterministic_by_seed(self):
+        params = WearSimParams(lines=64, mean_endurance=500.0)
+        a = run(params, seed=5)
+        b = run(params, seed=5)
+        assert a.line_writes_to_failure == b.line_writes_to_failure
+
+    def test_lifetime_conversion(self):
+        result = WearSimResult(
+            line_writes_to_failure=1000, failed_line=0, total_cell_writes=1
+        )
+        assert result.lifetime_seconds(1e-6) == pytest.approx(1e-3)
+        assert result.lifetime_seconds(1e-6, concurrency=2) == pytest.approx(5e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WearSimParams(lines=100)
+        with pytest.raises(ValueError):
+            WearSimParams(mean_endurance=0.0)
+        with pytest.raises(ValueError):
+            WearSimParams(cell_write_fraction=0.0)
+
+    def test_max_rounds_guard(self):
+        sim = WearSimulator(WearSimParams(lines=64, mean_endurance=1e9))
+        with pytest.raises(RuntimeError):
+            sim.run(max_rounds=10)
+
+
+class TestLifetimeModelValidation:
+    """The analytic estimator should predict the injection results."""
+
+    def test_analytic_prediction_within_2x(self):
+        params = WearSimParams(lines=128, cells_per_line=64,
+                               mean_endurance=800.0)
+        simulated = run(params, seed=1).line_writes_to_failure
+        predicted = WearSimulator(params).analytic_prediction()
+        assert 0.5 < simulated / predicted < 2.0
+
+    def test_ecp_extends_lifetime(self):
+        base = WearSimParams(lines=64, mean_endurance=500.0, ecp_pointers=0)
+        ecp = WearSimParams(lines=64, mean_endurance=500.0, ecp_pointers=6)
+        assert (
+            run(ecp, seed=2).line_writes_to_failure
+            > run(base, seed=2).line_writes_to_failure
+        )
+
+    def test_wear_leveling_extends_lifetime_under_hot_traffic(self):
+        # Without wear leveling, concentrating traffic on 1/8 of the
+        # lines kills the bank proportionally sooner.
+        leveled = WearSimParams(
+            lines=64, mean_endurance=500.0, wear_leveling=True
+        )
+        hot = WearSimParams(
+            lines=64, mean_endurance=500.0,
+            wear_leveling=False, hot_line_fraction=0.125,
+        )
+        assert (
+            run(hot, seed=3).line_writes_to_failure
+            < run(leveled, seed=3).line_writes_to_failure
+        )
+
+    def test_higher_write_fraction_shortens_life(self):
+        low = WearSimParams(lines=64, mean_endurance=500.0,
+                            cell_write_fraction=0.25)
+        high = WearSimParams(lines=64, mean_endurance=500.0,
+                             cell_write_fraction=1.0)
+        assert (
+            run(high, seed=4).line_writes_to_failure
+            < run(low, seed=4).line_writes_to_failure
+        )

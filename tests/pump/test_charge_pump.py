@@ -1,0 +1,66 @@
+"""Charge pump model tests (Table III anchors)."""
+
+import pytest
+
+from repro.pump.charge_pump import ChargePumpModel, PumpBudget
+from repro.techniques import make_dbl, make_udrvr_pr
+
+
+class TestBudget:
+    def test_table_iii_concurrency(self, paper_config):
+        pump = ChargePumpModel(paper_config)
+        budget = pump.budget(
+            i_reset_bit=paper_config.cell.i_on,
+            i_set_bit=paper_config.cell.i_set,
+        )
+        # 23 mA / 90 uA -> 255 concurrent RESETs; 25 mA / 98.6 uA -> 253.
+        assert budget.max_concurrent_resets == 255
+        assert budget.max_concurrent_sets == 253
+
+    def test_phase_splitting(self):
+        budget = PumpBudget(max_concurrent_resets=256, max_concurrent_sets=256)
+        assert budget.reset_phases_needed(0) == 0
+        assert budget.reset_phases_needed(256) == 1
+        assert budget.reset_phases_needed(257) == 2
+        assert budget.set_phases_needed(512) == 2
+
+    def test_dbl_doubles_current(self, paper_config):
+        base = ChargePumpModel(paper_config)
+        dbl = ChargePumpModel(paper_config, make_dbl(paper_config).overheads)
+        assert dbl.current_budget_reset == pytest.approx(
+            2 * base.current_budget_reset
+        )
+
+    def test_invalid_bit_current(self, paper_config):
+        pump = ChargePumpModel(paper_config)
+        with pytest.raises(ValueError):
+            pump.budget(0.0, 1e-6)
+
+
+class TestTimingAndEnergy:
+    def test_baseline_anchors(self, paper_config):
+        pump = ChargePumpModel(paper_config)
+        assert pump.charge_latency == pytest.approx(28e-9)
+        assert pump.discharge_latency == pytest.approx(21e-9)
+        assert pump.charge_energy == pytest.approx(17.8e-9)
+        assert pump.leakage_w == pytest.approx(62.2e-3)
+        assert pump.area_mm2 == pytest.approx(19.3)
+
+    def test_udrvr_extra_stage_costs(self, paper_config):
+        scheme = make_udrvr_pr(paper_config)
+        pump = ChargePumpModel(paper_config, scheme.overheads)
+        base = ChargePumpModel(paper_config)
+        assert pump.area_mm2 == pytest.approx(base.area_mm2 * 1.33)
+        assert pump.leakage_w == pytest.approx(base.leakage_w * 1.302)
+        assert pump.charge_latency == pytest.approx(base.charge_latency * 1.048)
+
+    def test_conversion_efficiency(self, paper_config):
+        pump = ChargePumpModel(paper_config)
+        assert pump.write_energy(1e-9) == pytest.approx(1e-9 / 0.33)
+        with pytest.raises(ValueError):
+            pump.write_energy(-1.0)
+
+    def test_output_voltage_override(self, paper_config):
+        pump = ChargePumpModel(paper_config, output_voltage=3.94)
+        assert pump.output_voltage == 3.94
+        assert ChargePumpModel(paper_config).output_voltage == 3.0

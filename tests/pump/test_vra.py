@@ -1,0 +1,55 @@
+"""Variable resistor array tests (Fig. 12b)."""
+
+import pytest
+
+from repro.pump.vra import (
+    VRA_AREA_M2,
+    VRA_ENERGY_J,
+    VRA_LATENCY_S,
+    VariableResistorArray,
+)
+from repro.techniques.drvr import drvr_levels
+from repro.techniques.udrvr import udrvr_col_deltas
+
+
+class TestConstruction:
+    def test_levels_from_scheme(self, paper_config):
+        rows = drvr_levels(paper_config)
+        deltas = udrvr_col_deltas(paper_config)
+        levels = tuple(max(rows) + d for d in reversed(deltas))
+        vra = VariableResistorArray.for_levels(levels)
+        assert vra.pump_voltage == pytest.approx(max(levels))
+        assert vra.level_for_mux(0) == pytest.approx(levels[0])
+
+    def test_levels_cannot_exceed_pump(self):
+        with pytest.raises(ValueError):
+            VariableResistorArray(pump_voltage=3.0, levels=(3.1,))
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError):
+            VariableResistorArray(pump_voltage=3.0, levels=())
+
+    def test_nonpositive_levels_rejected(self):
+        with pytest.raises(ValueError):
+            VariableResistorArray(pump_voltage=3.0, levels=(2.0, -1.0))
+
+
+class TestDividers:
+    def test_ratios_bounded_by_one(self):
+        vra = VariableResistorArray.for_levels((3.66, 3.5, 3.4))
+        ratios = vra.resistor_ratios
+        assert ratios[0] == pytest.approx(1.0)
+        assert all(0 < r <= 1 for r in ratios)
+
+    def test_mux_index_validated(self):
+        vra = VariableResistorArray.for_levels((3.0, 2.9))
+        with pytest.raises(ValueError):
+            vra.level_for_mux(2)
+
+
+class TestPublishedCosts:
+    def test_synthesis_numbers(self):
+        # §IV-D: 66.2 um^2, 2.7 ns, 1.82 pJ.
+        assert VRA_AREA_M2 == pytest.approx(66.2e-12)
+        assert VRA_LATENCY_S == pytest.approx(2.7e-9)
+        assert VRA_ENERGY_J == pytest.approx(1.82e-12)

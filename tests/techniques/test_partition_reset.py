@@ -1,0 +1,109 @@
+"""Algorithm 1 (Partition RESET) tests, including the paper's example."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.techniques.partition_reset import PartitionResetPartitioner
+
+
+def bits(*positions, width=8):
+    mask = np.zeros(width, dtype=bool)
+    for p in positions:
+        mask[p] = True
+    return mask
+
+
+@pytest.fixture()
+def pr():
+    return PartitionResetPartitioner()
+
+
+class TestPaperExamples:
+    def test_write0_near_reset_untouched(self, pr):
+        # Fig. 10 write0: a RESET only on bit 0 -> PR does nothing.
+        plan = pr.plan(bits(0), bits())
+        assert plan.reset_groups == (0,)
+        assert plan.extra_resets == 0
+        assert plan.extra_sets == 0
+
+    def test_write1_far_reset_padded(self, pr):
+        # Fig. 10 write1: a RESET on bit 7 -> benign pairs on 1, 3, 5.
+        plan = pr.plan(bits(7), bits())
+        assert plan.reset_groups == (1, 3, 5, 7)
+        assert plan.set_groups == (1, 3, 5)
+        assert plan.extra_resets == 3
+        assert plan.extra_sets == 3
+
+    def test_trigger_window_boundary(self, pr):
+        # Bit 2 is inside the fast region; bit 3 activates PR.
+        assert pr.plan(bits(2), bits()).extra_resets == 0
+        assert pr.plan(bits(3), bits()).extra_resets > 0
+
+    def test_existing_group_resets_not_duplicated(self, pr):
+        plan = pr.plan(bits(0, 7), bits())
+        # Groups (0,1) and (6,7) already reset; only (2,3), (4,5) pad.
+        assert plan.reset_groups == (0, 3, 5, 7)
+        assert plan.extra_resets == 2
+
+
+class TestInvariants:
+    @given(
+        reset_mask=st.integers(min_value=0, max_value=255),
+        set_mask=st.integers(min_value=0, max_value=255),
+    )
+    def test_plan_invariants(self, reset_mask, set_mask):
+        set_mask &= ~reset_mask  # a bit cannot be both
+        pr = PartitionResetPartitioner()
+        resets = np.array([(reset_mask >> i) & 1 for i in range(8)], dtype=bool)
+        sets = np.array([(set_mask >> i) & 1 for i in range(8)], dtype=bool)
+        plan = pr.plan(resets, sets)
+        # Required operations are always preserved.
+        assert set(np.flatnonzero(resets)) <= set(plan.reset_groups)
+        assert set(np.flatnonzero(sets)) <= set(plan.set_groups)
+        # Every benign RESET is matched by a SET of the same cell, so
+        # data is restored (extra sets only on cells not already SET).
+        added = set(plan.reset_groups) - set(np.flatnonzero(resets))
+        assert added <= set(plan.set_groups)
+        assert plan.extra_resets == len(added)
+
+    @given(reset_mask=st.integers(min_value=1, max_value=255))
+    def test_partitioning_guarantee(self, reset_mask):
+        # Once triggered, every 2-bit group at or below the last RESET
+        # carries at least one RESET: the array is well partitioned.
+        pr = PartitionResetPartitioner()
+        resets = np.array([(reset_mask >> i) & 1 for i in range(8)], dtype=bool)
+        plan = pr.plan(resets, np.zeros(8, dtype=bool))
+        last = int(np.flatnonzero(resets)[-1])
+        if last >= pr.trigger_start:
+            final = np.zeros(8, dtype=bool)
+            final[list(plan.reset_groups)] = True
+            for start in range(0, last + 1, 2):
+                assert final[start : start + 2].any()
+
+    def test_conflicting_masks_rejected(self, pr):
+        with pytest.raises(ValueError):
+            pr.plan(bits(1), bits(1))
+
+    def test_mismatched_widths_rejected(self, pr):
+        with pytest.raises(ValueError):
+            pr.plan(np.zeros(8, dtype=bool), np.zeros(4, dtype=bool))
+
+    def test_empty_write_noop(self, pr):
+        plan = pr.plan(bits(), bits())
+        assert plan.reset_groups == ()
+        assert plan.set_groups == ()
+
+
+class TestParameters:
+    def test_custom_group_size(self):
+        pr = PartitionResetPartitioner(group_size=4)
+        plan = pr.plan(bits(7), bits())
+        # Two 4-bit groups -> one benign pair in group (0..3).
+        assert plan.extra_resets == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PartitionResetPartitioner(trigger_start=-1)
+        with pytest.raises(ValueError):
+            PartitionResetPartitioner(group_size=0)

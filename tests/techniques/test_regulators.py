@@ -1,0 +1,115 @@
+"""Voltage regulator tests: static, DRVR sections, UDRVR matrices."""
+
+import numpy as np
+import pytest
+
+from repro.techniques.base import (
+    MatrixRegulator,
+    RowSectionRegulator,
+    StaticRegulator,
+)
+from repro.techniques.drvr import drvr_levels, make_drvr
+from repro.techniques.udrvr import (
+    make_udrvr_high_voltage,
+    make_udrvr_pr,
+    udrvr_col_deltas,
+)
+from repro.xpoint.vmap import get_ir_model
+
+
+@pytest.fixture(scope="module")
+def model(small_config):
+    return get_ir_model(small_config)
+
+
+class TestStaticRegulator:
+    def test_defaults_to_vrst(self, model, small_config):
+        matrix = StaticRegulator().matrix(model)
+        assert np.all(matrix == small_config.cell.v_reset)
+
+    def test_explicit_voltage(self, model):
+        matrix = StaticRegulator(3.7).matrix(model)
+        assert np.all(matrix == 3.7)
+
+
+class TestRowSectionRegulator:
+    def test_sections_expand_to_rows(self, model, small_config):
+        a = small_config.array.size
+        levels = tuple(3.0 + 0.05 * s for s in range(8))
+        matrix = RowSectionRegulator(levels).matrix(model)
+        rows_per_section = a // 8
+        for s in range(8):
+            block = matrix[s * rows_per_section : (s + 1) * rows_per_section]
+            assert np.all(block == levels[s])
+
+    def test_bad_section_count_rejected(self, model):
+        with pytest.raises(ValueError):
+            RowSectionRegulator((3.0, 3.1, 3.2)).matrix(model)
+
+
+class TestDrvrLevels:
+    def test_first_section_nominal(self, small_config):
+        levels = drvr_levels(small_config)
+        assert levels[0] == pytest.approx(small_config.cell.v_reset, abs=0.01)
+
+    def test_levels_increase_with_distance(self, small_config):
+        levels = drvr_levels(small_config)
+        assert list(levels) == sorted(levels)
+
+    def test_paper_pump_output(self, paper_config):
+        # DRVR's highest level approximates the paper's 3.66 V pump.
+        levels = drvr_levels(paper_config)
+        assert 3.5 < max(levels) < 3.8
+
+    def test_equalises_effective_voltage(self, small_config):
+        # Fig. 7b: the intra-section variation shrinks below ~0.1 V of
+        # the full-array drop.
+        model = get_ir_model(small_config)
+        scheme = make_drvr(small_config)
+        regulated = model.v_eff_map(scheme.regulator.matrix(model))[:, 0]
+        static = model.v_eff_map()[:, 0]
+        assert np.ptp(regulated) < 0.4 * np.ptp(static)
+
+    def test_invalid_sections(self, small_config):
+        with pytest.raises(ValueError):
+            drvr_levels(small_config, sections=7)
+
+
+class TestUdrvr:
+    def test_deltas_nonpositive_for_pr_variant(self, paper_config):
+        deltas = udrvr_col_deltas(paper_config)
+        assert all(d <= 1e-9 for d in deltas)
+        assert deltas[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_deltas_monotonic_with_distance(self, paper_config):
+        deltas = udrvr_col_deltas(paper_config)
+        assert list(deltas) == sorted(deltas)
+
+    def test_high_voltage_variant_tops_near_394(self, paper_config):
+        scheme = make_udrvr_high_voltage(paper_config)
+        model = get_ir_model(paper_config)
+        assert 3.8 < scheme.regulator.max_voltage(model) < 4.05
+
+    def test_udrvr_pr_equalises_latency(self, paper_config):
+        model = get_ir_model(paper_config)
+        scheme = make_udrvr_pr(paper_config)
+        n = model.wl_model.optimal_bits()
+        latency = model.latency_map(
+            scheme.regulator.matrix(model), n_bits=n
+        )
+        # Group far columns share ~the worst latency across the WL.
+        a = paper_config.array.size
+        far_cols = np.arange(8) * (a // 8) + (a // 8 - 1)
+        row0 = latency[0, far_cols]
+        assert row0.max() / row0.min() < 1.5
+
+    def test_matrix_regulator_combines_rows_and_columns(self, model, small_config):
+        a = small_config.array.size
+        regulator = MatrixRegulator(
+            row_levels=tuple(3.0 + 0.1 * s for s in range(8)),
+            col_deltas=tuple(-0.01 * m for m in range(8)),
+        )
+        matrix = regulator.matrix(model)
+        assert matrix[0, 0] == pytest.approx(3.0)
+        assert matrix[-1, 0] == pytest.approx(3.7)
+        assert matrix[0, -1] == pytest.approx(3.0 - 0.07)

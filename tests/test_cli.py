@@ -1,0 +1,46 @@
+"""Command-line interface tests (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out and "fig15" in out and "table_parameters" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_circuit_figure(self, capsys):
+        assert main(["fig11a"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal_bits: 4" in out
+
+    def test_table_parameters(self, capsys):
+        assert main(["table_parameters"]) == 0
+        out = capsys.readouterr().out
+        assert "512" in out
+
+    def test_lifetime_figure_renders_dataclasses(self, capsys):
+        assert main(["fig05b"]) == 0
+        out = capsys.readouterr().out
+        assert "UDRVR+PR" in out
+        assert "lifetime_s" in out
+
+    def test_json_export(self, capsys, tmp_path):
+        path = tmp_path / "fig11a.json"
+        assert main(["fig11a", "--json", str(path)]) == 0
+        import json
+
+        assert json.loads(path.read_text())["optimal_bits"] == 4
+
+    @pytest.mark.slow
+    def test_simulation_figure_quick(self, capsys):
+        code = main(["fig17", "--quick", "--benchmarks", "zeu_m"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "udrvr_pr_over_394" in out

@@ -1,0 +1,101 @@
+"""Configuration dataclass tests (Tables I and III)."""
+
+import pytest
+
+from repro.config import (
+    ArrayParams,
+    CellParams,
+    MemoryParams,
+    PumpParams,
+    SelectorParams,
+    SystemConfig,
+    default_config,
+)
+
+
+class TestDefaults:
+    def test_table_i_values(self):
+        config = default_config()
+        assert config.array.size == 512
+        assert config.array.data_width == 8
+        assert config.array.r_wire == 11.5
+        assert config.array.selector.kr == 1000.0
+        assert config.cell.i_on == pytest.approx(90e-6)
+        assert config.cell.v_reset == 3.0
+        assert config.cell.v_read == 1.8
+
+    def test_table_iii_values(self):
+        config = default_config()
+        assert config.memory.capacity_bytes == 64 << 30
+        assert config.memory.ranks_per_channel == 2
+        assert config.memory.chips_per_rank == 8
+        assert config.memory.total_banks == 16
+        assert config.pump.i_reset_budget == pytest.approx(23e-3)
+        assert config.pump.efficiency == pytest.approx(0.33)
+        assert config.cpu.cores == 8
+        assert config.cpu.freq_ghz == 3.2
+
+    def test_derived_geometry(self):
+        config = default_config()
+        assert config.array.cells_per_mux == 64
+        assert config.array.section_rows == 64
+        assert config.memory.lines == (64 << 30) // 64
+        assert config.memory.arrays_per_line == 64
+
+
+class TestValidation:
+    def test_array_geometry(self):
+        with pytest.raises(ValueError):
+            ArrayParams(size=1)
+        with pytest.raises(ValueError):
+            ArrayParams(size=512, data_width=7)
+        with pytest.raises(ValueError):
+            ArrayParams(r_wire=0.0)
+        with pytest.raises(ValueError):
+            ArrayParams(drvr_sections=3)
+
+    def test_selector_params(self):
+        with pytest.raises(ValueError):
+            SelectorParams(kr=1.0)
+        with pytest.raises(ValueError):
+            SelectorParams(leak_sat_ratio=0.0)
+
+    def test_cell_params(self):
+        with pytest.raises(ValueError):
+            CellParams(i_on=-1.0)
+
+    def test_memory_geometry_consistency(self):
+        with pytest.raises(ValueError):
+            MemoryParams(capacity_bytes=32 << 30)  # mismatch with chips
+        with pytest.raises(ValueError):
+            MemoryParams(line_bytes=48)
+
+    def test_pump_params(self):
+        with pytest.raises(ValueError):
+            PumpParams(efficiency=0.0)
+        with pytest.raises(ValueError):
+            PumpParams(v_out=1.0)
+
+
+class TestDerivation:
+    def test_with_array(self):
+        config = default_config()
+        derived = config.with_array(size=256)
+        assert derived.array.size == 256
+        assert config.array.size == 512  # original untouched
+
+    def test_with_helpers_chain(self):
+        config = (
+            default_config()
+            .with_cell(v_reset=3.2)
+            .with_pump(v_out=3.2)
+            .with_memory(write_queue_entries=48)
+            .with_cpu(cores=4)
+        )
+        assert config.cell.v_reset == 3.2
+        assert config.memory.write_queue_entries == 48
+        assert config.cpu.cores == 4
+
+    def test_config_hashable(self):
+        assert hash(default_config()) == hash(default_config())
+        assert default_config() == default_config()

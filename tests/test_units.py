@@ -1,0 +1,38 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro import units
+
+
+class TestScaleHelpers:
+    def test_current(self):
+        assert units.uA(90) == pytest.approx(90e-6)
+        assert units.mA(23) == pytest.approx(23e-3)
+
+    def test_time(self):
+        assert units.ns(15) == pytest.approx(15e-9)
+        assert units.us(2.3) == pytest.approx(2.3e-6)
+
+    def test_energy_power(self):
+        assert units.pJ(29.8) == pytest.approx(29.8e-12)
+        assert units.nJ(17.8) == pytest.approx(17.8e-9)
+        assert units.mW(62.2) == pytest.approx(62.2e-3)
+
+    def test_area(self):
+        assert units.mm2(19.3) == pytest.approx(19.3e-6)
+        assert units.um2(66.2) == pytest.approx(66.2e-12)
+
+
+class TestReportingHelpers:
+    def test_round_trips(self):
+        assert units.to_ns(units.ns(15)) == pytest.approx(15)
+        assert units.to_us(units.us(2.3)) == pytest.approx(2.3)
+
+    def test_calendar(self):
+        assert units.to_days(units.SECONDS_PER_DAY) == pytest.approx(1.0)
+        assert units.to_years(units.SECONDS_PER_YEAR) == pytest.approx(1.0)
+        assert units.SECONDS_PER_YEAR == pytest.approx(365.25 * 86400)
+
+    def test_bytes(self):
+        assert units.BYTES_PER_GB == 1 << 30

@@ -1,0 +1,83 @@
+"""Table IV benchmark suite tests."""
+
+import pytest
+
+from repro.workloads.benchmarks import (
+    CORES,
+    benchmark_suite,
+    get_benchmark,
+    scale_benchmark,
+)
+
+# Table IV, verbatim.
+TABLE_IV = {
+    "ast_m": (2.76, 1.34),
+    "gem_m": (1.23, 1.13),
+    "lbm_m": (3.64, 1.88),
+    "mcf_m": (4.29, 3.89),
+    "mil_m": (1.69, 0.71),
+    "xal_m": (1.36, 1.22),
+    "zeu_m": (0.64, 0.47),
+    "mum_m": (3.48, 1.13),
+    "tig_m": (5.07, 0.42),
+}
+
+
+class TestSuite:
+    def test_all_eleven_workloads_present(self):
+        suite = benchmark_suite()
+        assert len(suite) == 11
+        assert "mix_1" in suite and "mix_2" in suite
+
+    def test_eight_cores_each(self):
+        for spec in benchmark_suite().values():
+            assert spec.cores == CORES
+            assert len(spec.patterns) == CORES
+
+    @pytest.mark.parametrize("name", sorted(TABLE_IV))
+    def test_table_iv_rates(self, name):
+        spec = get_benchmark(name)
+        rpki, wpki = TABLE_IV[name]
+        for stream in spec.streams:
+            assert stream.rpki == rpki
+            assert stream.wpki == wpki
+
+    def test_mix1_composition(self):
+        # 2 astar, 2 milc, 2 xalancbmk, 2 mummer (Table IV).
+        spec = get_benchmark("mix_1")
+        rpkis = sorted(stream.rpki for stream in spec.streams)
+        assert rpkis == sorted([2.76] * 2 + [1.69] * 2 + [1.36] * 2 + [3.48] * 2)
+
+    def test_zeusmp_heavy_write_pattern(self):
+        # §VI: each zeusmp write modifies ~30% of a line's cells.
+        spec = get_benchmark("zeu_m")
+        assert spec.patterns[0].changed_fraction == pytest.approx(0.30)
+
+    def test_disjoint_address_spaces(self):
+        spec = get_benchmark("mcf_m")
+        bases = {stream.address_base for stream in spec.streams}
+        assert len(bases) == CORES
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nonexistent")
+
+
+class TestScaling:
+    def test_working_sets_shrink(self):
+        spec = get_benchmark("mcf_m")
+        scaled = scale_benchmark(spec, 64)
+        for before, after in zip(spec.streams, scaled.streams):
+            assert after.working_set_lines == max(
+                1024, before.working_set_lines // 64
+            )
+            assert after.rpki == before.rpki
+
+    def test_patterns_unchanged(self):
+        spec = get_benchmark("zeu_m")
+        scaled = scale_benchmark(spec, 16)
+        assert scaled.patterns == spec.patterns
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scale_benchmark(get_benchmark("ast_m"), 0)

@@ -1,0 +1,69 @@
+"""Write data-pattern generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datapatterns import PatternParams, WritePatternGenerator
+
+
+class TestMasks:
+    def test_disjoint_reset_set(self):
+        generator = WritePatternGenerator(PatternParams(), seed=0)
+        for _ in range(50):
+            resets, sets = generator.masks()
+            assert not (resets & sets).any()
+            assert resets.size == 512
+
+    def test_mean_changed_fraction_tracks_target(self):
+        for target in (0.05, 0.10, 0.30):
+            generator = WritePatternGenerator(
+                PatternParams(changed_fraction=target), seed=1
+            )
+            mean = generator.mean_changed_bits(samples=400)
+            assert mean / 512 == pytest.approx(target, rel=0.35)
+
+    def test_changes_cluster_in_words(self):
+        generator = WritePatternGenerator(
+            PatternParams(changed_fraction=0.05), seed=2
+        )
+        zero_mats = 0
+        trials = 200
+        for _ in range(trials):
+            resets, sets = generator.masks()
+            per_mat = (resets | sets).reshape(64, 8).sum(axis=1)
+            zero_mats += int((per_mat == 0).sum())
+        # Fig. 9: most arrays see no activity in a write.
+        assert zero_mats / (trials * 64) > 0.5
+
+    def test_reset_set_roughly_balanced(self):
+        generator = WritePatternGenerator(PatternParams(), seed=3)
+        resets_total = sets_total = 0
+        for _ in range(300):
+            resets, sets = generator.masks()
+            resets_total += resets.sum()
+            sets_total += sets.sum()
+        assert resets_total / sets_total == pytest.approx(1.0, rel=0.2)
+
+    def test_deterministic_by_seed(self):
+        a = WritePatternGenerator(PatternParams(), seed=7)
+        b = WritePatternGenerator(PatternParams(), seed=7)
+        ra, sa = a.masks()
+        rb, sb = b.masks()
+        assert np.array_equal(ra, rb)
+        assert np.array_equal(sa, sb)
+
+
+class TestValidation:
+    def test_param_bounds(self):
+        with pytest.raises(ValueError):
+            PatternParams(changed_fraction=0.0)
+        with pytest.raises(ValueError):
+            PatternParams(changed_fraction=1.5)
+        with pytest.raises(ValueError):
+            PatternParams(in_word_change=0.0)
+        with pytest.raises(ValueError):
+            PatternParams(word_bits=0)
+
+    def test_word_size_must_divide_line(self):
+        with pytest.raises(ValueError):
+            WritePatternGenerator(PatternParams(word_bits=48), line_bits=512)

@@ -1,0 +1,49 @@
+"""Trace persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import StreamParams, SyntheticStream
+from repro.workloads.trace import MemoryAccess, Trace
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        stream = SyntheticStream(
+            StreamParams(rpki=2.0, wpki=1.0, working_set_lines=512), seed=0
+        )
+        trace = stream.take(500)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert a == b
+
+    def test_rates_survive_roundtrip(self, tmp_path):
+        stream = SyntheticStream(
+            StreamParams(rpki=3.0, wpki=2.0, working_set_lines=512), seed=1
+        )
+        trace = stream.take(1000)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.rpki() == pytest.approx(trace.rpki())
+        assert loaded.wpki() == pytest.approx(trace.wpki())
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        Trace([]).save(path)
+        assert len(Trace.load(path)) == 0
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(ValueError):
+            Trace.load(path)
+
+    def test_large_addresses_preserved(self, tmp_path):
+        trace = Trace([MemoryAccess(1, True, (7 << 40) + 64)])
+        path = tmp_path / "big.npz"
+        trace.save(path)
+        assert Trace.load(path)._accesses[0].address == (7 << 40) + 64

@@ -1,0 +1,47 @@
+"""Read-path margin tests (§II-B's read-sneak claim)."""
+
+import numpy as np
+import pytest
+
+from repro.xpoint.read_margin import (
+    READ_CURRENT,
+    read_margin_report,
+    read_voltage_map,
+)
+
+
+class TestReadVoltageMap:
+    def test_shape_and_gradient(self, paper_config):
+        v_map = read_voltage_map(paper_config)
+        a = paper_config.array.size
+        assert v_map.shape == (a, a)
+        assert v_map[0, 0] == v_map.max()
+        assert v_map[-1, -1] == v_map.min()
+
+    def test_worst_drop_matches_hand_calculation(self, paper_config):
+        v_map = read_voltage_map(paper_config)
+        a = paper_config.array.size
+        expected_drop = READ_CURRENT * 11.5 * (2 * a)
+        assert paper_config.cell.v_read - v_map[-1, -1] == pytest.approx(
+            expected_drop, rel=1e-9
+        )
+
+
+class TestPaperClaim:
+    def test_read_sneak_insignificant_at_baseline(self, paper_config):
+        # §II-B: "The read sneak current is not significant in a
+        # moderate size array typically used in a main memory system."
+        report = read_margin_report(paper_config)
+        assert report.sense_ok
+        assert report.worst_drop_fraction < 0.1
+
+    def test_claim_breaks_for_extreme_wires(self, paper_config):
+        # The same analysis flags a 10x more resistive design.
+        harsh = paper_config.with_array(r_wire=115.0)
+        report = read_margin_report(harsh)
+        assert not report.sense_ok
+
+    def test_small_array_has_more_margin(self, paper_config):
+        small = read_margin_report(paper_config.with_array(size=64))
+        large = read_margin_report(paper_config)
+        assert small.worst_effective > large.worst_effective

@@ -1,0 +1,109 @@
+"""ArrayIRModel map-generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.crosspoint import BiasScheme
+from repro.xpoint.vmap import ArrayIRModel, get_ir_model
+
+
+@pytest.fixture(scope="module")
+def model(small_config):
+    return get_ir_model(small_config)
+
+
+class TestMapsShapeAndOrdering:
+    def test_map_shape(self, model, small_config):
+        a = small_config.array.size
+        assert model.v_eff_map().shape == (a, a)
+
+    def test_gradient_towards_top_right(self, model):
+        v = model.v_eff_map()
+        assert v[0, 0] == v.max()
+        assert v[-1, -1] == v.min()
+        # Monotone along both axes.
+        assert np.all(np.diff(v, axis=0) <= 1e-9)
+        assert np.all(np.diff(v, axis=1) <= 1e-9)
+
+    def test_latency_anti_correlates_with_voltage(self, model):
+        v = model.v_eff_map()
+        t = model.latency_map()
+        order_v = np.argsort(v.ravel())
+        order_t = np.argsort(-t.ravel())
+        assert np.array_equal(order_v, order_t)
+
+    def test_endurance_grows_with_latency(self, model):
+        t = model.latency_map()
+        e = model.endurance_map()
+        flat_t = t.ravel()
+        flat_e = e.ravel()
+        order = np.argsort(flat_t)
+        assert np.all(np.diff(flat_e[order]) >= -1e-6)
+
+
+class TestAppliedVoltageSpecs:
+    def test_scalar_broadcast(self, model, small_config):
+        a = small_config.array.size
+        matrix = model.applied_matrix(3.2)
+        assert matrix.shape == (a, a)
+        assert np.all(matrix == 3.2)
+
+    def test_row_vector_broadcast(self, model, small_config):
+        a = small_config.array.size
+        rows = np.linspace(3.0, 3.5, a)
+        matrix = model.applied_matrix(rows)
+        assert np.all(matrix[:, 0] == rows)
+        assert np.all(matrix[:, -1] == rows)
+
+    def test_full_matrix_passthrough(self, model, small_config):
+        a = small_config.array.size
+        full = np.full((a, a), 3.1)
+        assert np.array_equal(model.applied_matrix(full), full)
+
+    def test_bad_shape_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.applied_matrix(np.zeros(3))
+
+    def test_higher_rows_get_higher_v_eff(self, model, small_config):
+        a = small_config.array.size
+        rows = np.linspace(3.0, 3.4, a)
+        regulated = model.v_eff_map(rows)
+        static = model.v_eff_map(3.0)
+        assert regulated[-1, 0] > static[-1, 0]
+        assert regulated[0, 0] == pytest.approx(static[0, 0], abs=1e-6)
+
+
+class TestCaching:
+    def test_profile_cache_reused(self, model):
+        first = model.bl_drop_profile(3.0)
+        second = model.bl_drop_profile(3.0)
+        assert first is second
+
+    def test_quantised_voltages_share_cache(self, model):
+        first = model.bl_drop_profile(3.000)
+        second = model.bl_drop_profile(3.004)
+        assert first is second
+
+    def test_get_ir_model_memoised(self, small_config):
+        assert get_ir_model(small_config) is get_ir_model(small_config)
+
+
+class TestPointQueries:
+    def test_point_matches_map(self, model):
+        v_map = model.v_eff_map()
+        assert model.v_eff(10, 20) == pytest.approx(v_map[10, 20], abs=1e-9)
+
+    def test_multi_bit_helps_far_column(self, model, small_config):
+        a = small_config.array.size
+        single = model.v_eff(a - 1, a - 1, n_bits=1)
+        best = model.v_eff(a - 1, a - 1, n_bits=model.wl_model.optimal_bits())
+        assert best > single
+
+    def test_bias_scheme_flows_through(self, model, small_config):
+        a = small_config.array.size
+        bias = BiasScheme(name="dsgb", wl_ground_both_ends=True)
+        assert model.v_eff(0, a - 1, bias=bias) > model.v_eff(0, a - 1)
+
+    def test_array_reset_latency_is_map_max(self, model):
+        latency = model.latency_map()
+        assert model.array_reset_latency() == pytest.approx(latency.max())
