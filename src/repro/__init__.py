@@ -35,11 +35,18 @@ from .config import (
     PumpParams,
     SelectorParams,
     SystemConfig,
+    config_hash,
     default_config,
 )
 from .xpoint import ArrayIRModel, get_ir_model
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from .engine import (  # noqa: E402  (engine needs config/__version__ above)
+    ExperimentResult,
+    RunContext,
+    run_experiment,
+)
 
 __all__ = [
     "ArrayParams",
@@ -50,8 +57,12 @@ __all__ = [
     "PumpParams",
     "SelectorParams",
     "SystemConfig",
+    "config_hash",
     "default_config",
     "ArrayIRModel",
     "get_ir_model",
+    "ExperimentResult",
+    "RunContext",
+    "run_experiment",
     "__version__",
 ]

@@ -5,11 +5,15 @@ Usage::
     python -m repro list                 # available experiments
     python -m repro fig04                # baseline array maps
     python -m repro fig15 --quick        # fast, reduced-size simulation
+    python -m repro fig15 --quick --workers 4   # fan cells out over 4 cores
     python -m repro fig15 --benchmarks mcf_m xal_m
 
-Simulation-backed figures accept ``--quick`` (smaller traces) and
-``--benchmarks`` (a subset of Table IV); circuit-level figures run at
-full fidelity either way.
+Simulation-backed figures accept ``--quick`` (smaller traces),
+``--benchmarks`` (a subset of Table IV) and ``--workers`` (parallel
+(scheme, benchmark) cells); circuit-level figures run at full fidelity
+either way.  Results are cached under ``.repro_cache/`` keyed by the
+configuration, the experiment parameters and the code version, so a
+repeated invocation is a cache hit; ``--no-cache`` bypasses the cache.
 """
 
 from __future__ import annotations
@@ -17,16 +21,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .analysis import experiments
-from .analysis.report import format_series, format_table
-
-_SIMULATION_FIGURES = {"fig05c", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20"}
-
-_EXPERIMENTS = {
-    name: getattr(experiments, name)
-    for name in experiments.__all__
-    if name.startswith("fig") or name.startswith("table")
-}
+from .analysis.report import format_result_meta, format_series, format_table
+from .engine import (
+    DEFAULT_CACHE_DIR,
+    NullCache,
+    ResultCache,
+    RunContext,
+    all_experiments,
+    make_executor,
+    run_experiment,
+    suggest,
+)
 
 
 def _render(name: str, data: dict) -> str:
@@ -70,6 +75,18 @@ def _render(name: str, data: dict) -> str:
     return "\n".join(str(line) for line in lines)
 
 
+def _fail_unknown(kind: str, name: str, known: tuple[str, ...]) -> None:
+    """Uniform exit-code-2 diagnostics with a did-you-mean hint."""
+    hint = suggest(name, known)
+    message = f"unknown {kind} {name!r}"
+    if hint:
+        message += f"; did you mean {hint!r}?"
+    message += f" (run 'python -m repro list' for {kind}s)" if (
+        kind == "experiment"
+    ) else f" (choose from {', '.join(sorted(known))})"
+    print(message, file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -85,51 +102,72 @@ def main(argv: list[str] | None = None) -> int:
         help="restrict simulation figures to these Table IV workloads",
     )
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run independent simulation cells over N processes",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="perturb every workload generator seed (0 = paper default)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="also write the raw experiment payload as JSON",
+        help="also write the result (payload + run metadata) as JSON",
     )
     args = parser.parse_args(argv)
 
+    registry = all_experiments()
+
     if args.experiment == "list":
-        for name, fn in sorted(_EXPERIMENTS.items()):
-            doc = (fn.__doc__ or "").strip().splitlines()[0]
-            print(f"{name:18s} {doc}")
+        for name, exp in registry.items():
+            kind = "sim" if exp.simulation else "   "
+            print(f"{name:18s} {kind}  {exp.title}")
         return 0
 
-    if args.experiment not in _EXPERIMENTS:
-        print(
-            f"unknown experiment {args.experiment!r}; "
-            "run 'python -m repro list'",
-            file=sys.stderr,
-        )
+    if args.experiment not in registry:
+        _fail_unknown("experiment", args.experiment, tuple(registry))
         return 2
 
-    fn = _EXPERIMENTS[args.experiment]
-    kwargs = {}
-    if args.experiment in _SIMULATION_FIGURES:
-        if args.benchmarks:
-            from .workloads import benchmark_suite
+    exp = registry[args.experiment]
+    settings = None
+    if exp.simulation:
+        from .workloads import benchmark_suite
 
-            known = set(benchmark_suite())
-            bad = [name for name in args.benchmarks if name not in known]
-            if bad:
-                print(
-                    f"unknown benchmark(s) {bad}; choose from {sorted(known)}",
-                    file=sys.stderr,
-                )
+        known = tuple(benchmark_suite())
+        for name in args.benchmarks or ():
+            if name not in known:
+                _fail_unknown("benchmark", name, known)
                 return 2
-        settings = experiments.PerfSettings(
+        from .analysis.experiments import PerfSettings
+
+        settings = PerfSettings(
             accesses_per_core=2500 if args.quick else 8000,
             benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
         )
-        kwargs["settings"] = settings
-    data = fn(**kwargs)
-    print(_render(args.experiment, data))
-    if args.json:
-        from .analysis.export import export_json
 
-        export_json(data, args.json)
-        print(f"\nwrote {args.json}")
+    context = RunContext(
+        seed=args.seed,
+        executor=make_executor(args.workers),
+        cache=NullCache() if args.no_cache else ResultCache(args.cache_dir),
+    )
+    result = run_experiment(args.experiment, context, settings)
+    print(_render(args.experiment, result.payload))
+    print(format_result_meta(result))
+    if args.json:
+        import json
+        import pathlib
+
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result.to_plain(), indent=2) + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 

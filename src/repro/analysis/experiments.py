@@ -2,13 +2,17 @@
 DESIGN.md).
 
 Every ``figXX`` function returns a plain dictionary with the same
-rows/series the paper reports; the benchmark harness under
-``benchmarks/`` renders them with :mod:`repro.analysis.report` and
-records paper-vs-measured numbers in EXPERIMENTS.md.
+rows/series the paper reports and registers itself with the experiment
+engine (:mod:`repro.engine.registry`), declaring whether it is
+simulation-backed, which Table IV workloads it consumes, and its
+payload schema.  The benchmark harness under ``benchmarks/`` renders
+the payloads with :mod:`repro.analysis.report` and records
+paper-vs-measured numbers in EXPERIMENTS.md.
 
 Simulation-backed figures share a :class:`PerformanceRunner`, which
-memoises (scheme, benchmark) runs so composed figures (5c, 15, 16, 17)
-do not repeat work.
+fans the independent (scheme, benchmark) cells out through the run
+context's executor, memoises them in memory, and — when the context
+carries a disk cache — shares them across invocations.
 """
 
 from __future__ import annotations
@@ -18,24 +22,24 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..circuit.wire import wire_resistance_table
-from ..config import SelectorParams, SystemConfig, default_config
+from ..config import SelectorParams, SystemConfig, config_hash, default_config
 from ..cpu.system import SimulationResult, SystemSimulator
+from ..engine.cache import MISSING, cache_key
+from ..engine.context import RunContext
+from ..engine.registry import experiment
 from ..mem.energy import EnergyModel
 from ..mem.lifetime import LifetimeEstimator
 from ..techniques import (
     Scheme,
     SchemeLatencyModel,
-    make_baseline,
     make_drvr,
     make_naive_high_voltage,
-    standard_schemes,
 )
 from ..techniques.partition_reset import PartitionResetPartitioner
 from ..techniques.dummy_bl import DummyBitlinePartitioner
 from ..workloads import benchmark_suite
 from ..workloads.benchmarks import scale_benchmark
 from ..workloads.datapatterns import WritePatternGenerator
-from ..xpoint.vmap import get_ir_model
 from .maps import block_reduce, summarise_map
 from .overheads import chip_overheads
 
@@ -64,6 +68,31 @@ __all__ = [
     "table_benchmarks",
 ]
 
+#: Every Table IV workload name (the full simulation suite).
+TABLE_IV = tuple(benchmark_suite())
+
+#: Representative heavy/medium/light subset the sweep figures use.
+SWEEP_SUBSET = ("mcf_m", "lbm_m", "mum_m")
+
+#: Top-level keys of a ``_maps_payload`` figure.
+_MAP_KEYS = (
+    "v_eff",
+    "latency",
+    "endurance",
+    "v_eff_blocks",
+    "latency_blocks",
+    "endurance_blocks",
+)
+
+
+def _resolve(
+    config: SystemConfig | None, context: RunContext | None
+) -> tuple[SystemConfig, RunContext]:
+    """The (config, context) pair a driver actually runs with."""
+    if context is None:
+        context = RunContext(config=config or default_config())
+    return config or context.config, context
+
 
 # ---------------------------------------------------------------------------
 # shared performance machinery
@@ -86,23 +115,87 @@ class PerfSettings:
     seed: int = 3
     benchmarks: tuple[str, ...] | None = None  # None -> the full Table IV suite
 
+    @property
+    def sizing(self) -> tuple:
+        """The fields a single (scheme, benchmark) cell depends on.
+
+        ``benchmarks`` selects *which* cells a figure runs, not how any
+        one cell behaves, so it is excluded — a subset run and a
+        full-suite run share cached cells.
+        """
+        return (self.scale, self.accesses_per_core, self.warmup_accesses, self.seed)
+
+
+@dataclass(frozen=True)
+class _PerfTask:
+    """One executor task: simulate a (scheme, benchmark) cell."""
+
+    config: SystemConfig  # already scaled by PerformanceRunner
+    settings: PerfSettings
+    scheme_name: str
+    benchmark: str
+
+
+# Per-process memo of (schemes, suite) so a pool worker pays the scheme
+# construction cost once per configuration, not once per task.
+_WORKER_ENV: dict[tuple, tuple] = {}
+
+
+def _worker_env(config: SystemConfig, settings: PerfSettings) -> tuple:
+    key = (config_hash(config), settings.sizing)
+    env = _WORKER_ENV.get(key)
+    if env is None:
+        from ..techniques.stacks import standard_schemes
+
+        schemes = standard_schemes(config)
+        suite = {
+            name: scale_benchmark(spec, settings.scale)
+            for name, spec in benchmark_suite().items()
+        }
+        _WORKER_ENV[key] = env = (schemes, suite)
+    return env
+
+
+def _run_cell(task: _PerfTask) -> SimulationResult:
+    """Simulate one cell (top-level so it pickles to pool workers)."""
+    schemes, suite = _worker_env(task.config, task.settings)
+    simulator = SystemSimulator(
+        task.config,
+        schemes[task.scheme_name],
+        suite[task.benchmark],
+        accesses_per_core=task.settings.accesses_per_core,
+        seed=task.settings.seed,
+        warmup_accesses=task.settings.warmup_accesses,
+    )
+    return simulator.run()
+
 
 class PerformanceRunner:
-    """Memoised (scheme, benchmark) simulation runs for one config."""
+    """(scheme, benchmark) simulation cells for one configuration.
+
+    Cells are independent, so :meth:`prefetch` fans missing ones out
+    through the context's executor (serial by default, a process pool
+    with ``--workers N``) with deterministic result ordering, then
+    memoises them in memory and — when the context carries a result
+    cache — on disk, keyed by (config hash, sizing, scheme, benchmark,
+    code version).
+    """
 
     def __init__(
         self,
         config: SystemConfig | None = None,
         settings: PerfSettings = PerfSettings(),
+        context: RunContext | None = None,
     ) -> None:
-        base = config or default_config()
+        self.context = context or RunContext(config=config)
+        base = config or self.context.config
         self.settings = settings
         self.config = base.with_cpu(
             l3_bytes_per_core=max(
                 64 << 10, base.cpu.l3_bytes_per_core // settings.scale
             )
         )
-        self.schemes = standard_schemes(self.config)
+        self.schemes = self.context.schemes(self.config)
         self._suite = {
             name: scale_benchmark(spec, settings.scale)
             for name, spec in benchmark_suite().items()
@@ -120,24 +213,60 @@ class PerformanceRunner:
             raise KeyError(f"unknown scheme {name!r}")
         return self.schemes[name]
 
+    def _cell_key(self, scheme_name: str, benchmark: str) -> str:
+        return cache_key(
+            "cell",
+            config_hash(self.config),
+            self.settings.sizing,
+            scheme_name,
+            benchmark,
+        )
+
+    def prefetch(
+        self,
+        scheme_names: tuple[str, ...],
+        benchmarks: tuple[str, ...] | None = None,
+    ) -> None:
+        """Materialise every missing (scheme, benchmark) cell at once."""
+        for name in scheme_names:
+            self.scheme(name)  # validate early, before fan-out
+        cells = [
+            (scheme, benchmark)
+            for benchmark in (benchmarks or self.benchmark_names)
+            for scheme in scheme_names
+            if (scheme, benchmark) not in self._cache
+        ]
+        disk = self.context.cache
+        missing = []
+        for cell in cells:
+            value = disk.load(self._cell_key(*cell))
+            if value is MISSING:
+                missing.append(cell)
+            else:
+                self._cache[cell] = value
+        if not missing:
+            return
+        tasks = [
+            _PerfTask(self.config, self.settings, scheme, benchmark)
+            for scheme, benchmark in missing
+        ]
+        for cell, result in zip(
+            missing, self.context.executor.map(_run_cell, tasks)
+        ):
+            self._cache[cell] = result.value
+            disk.store(self._cell_key(*cell), result.value)
+
     def run(self, scheme_name: str, benchmark: str) -> SimulationResult:
         key = (scheme_name, benchmark)
         if key not in self._cache:
-            simulator = SystemSimulator(
-                self.config,
-                self.scheme(scheme_name),
-                self._suite[benchmark],
-                accesses_per_core=self.settings.accesses_per_core,
-                seed=self.settings.seed,
-                warmup_accesses=self.settings.warmup_accesses,
-            )
-            self._cache[key] = simulator.run()
+            self.prefetch((scheme_name,), (benchmark,))
         return self._cache[key]
 
     def speedups(
         self, scheme_names: tuple[str, ...], normalise_to: str
     ) -> dict[str, dict[str, float]]:
         """Per-benchmark IPC ratios against ``normalise_to``."""
+        self.prefetch(tuple(dict.fromkeys((*scheme_names, normalise_to))))
         table: dict[str, dict[str, float]] = {}
         for benchmark in self.benchmark_names:
             reference = self.run(normalise_to, benchmark).ipc
@@ -158,7 +287,10 @@ def _geomean(values) -> float:
 # ---------------------------------------------------------------------------
 
 
-def fig01e(config: SystemConfig | None = None) -> dict:
+@experiment(output_keys=("series", "reference"))
+def fig01e(
+    config: SystemConfig | None = None, context: RunContext | None = None
+) -> dict:
     """Fig. 1e: wire resistance per junction vs technology node."""
     table = wire_resistance_table()
     return {
@@ -167,8 +299,10 @@ def fig01e(config: SystemConfig | None = None) -> dict:
     }
 
 
-def _maps_payload(config: SystemConfig, v_applied, n_bits: int) -> dict:
-    model = get_ir_model(config)
+def _maps_payload(
+    context: RunContext, config: SystemConfig, v_applied, n_bits: int
+) -> dict:
+    model = context.ir_model(config)
     v_eff = model.v_eff_map(v_applied, n_bits=n_bits)
     latency = model.latency_map(v_applied, n_bits=n_bits)
     endurance = model.endurance_map(v_applied, n_bits=n_bits)
@@ -182,32 +316,44 @@ def _maps_payload(config: SystemConfig, v_applied, n_bits: int) -> dict:
     }
 
 
-def fig04(config: SystemConfig | None = None) -> dict:
+@experiment(output_keys=_MAP_KEYS)
+def fig04(
+    config: SystemConfig | None = None, context: RunContext | None = None
+) -> dict:
     """Fig. 4b/c/d: baseline effective Vrst / latency / endurance maps.
 
     Paper anchors: 1.7 V worst-corner effective Vrst, 2.3 us array RESET
     latency, 5e6-write minimum endurance, >1e12 at the top-right corner.
     """
-    config = config or default_config()
-    return _maps_payload(config, config.cell.v_reset, n_bits=1)
+    config, context = _resolve(config, context)
+    return _maps_payload(context, config, config.cell.v_reset, n_bits=1)
 
 
-def fig05b(config: SystemConfig | None = None) -> dict:
+@experiment(output_keys=("reports",))
+def fig05b(
+    config: SystemConfig | None = None, context: RunContext | None = None
+) -> dict:
     """Fig. 5b: main-memory lifetime comparison under non-stop writes."""
-    config = config or default_config()
+    config, context = _resolve(config, context)
     estimator = LifetimeEstimator(config)
-    schemes = standard_schemes(config)
+    schemes = context.schemes(config)
     order = ["Base", "Hard+Sys", "Static-3.7V", "DRVR", "DRVR+PR", "UDRVR+PR"]
     return {"reports": [estimator.estimate(schemes[name]) for name in order]}
 
 
+@experiment(
+    simulation=True,
+    workloads=TABLE_IV,
+    output_keys=("per_benchmark", "geomean"),
+)
 def fig05c(
     config: SystemConfig | None = None,
     settings: PerfSettings = PerfSettings(),
     runner: PerformanceRunner | None = None,
+    context: RunContext | None = None,
 ) -> dict:
     """Fig. 5c: prior designs' performance vs the oracles."""
-    runner = runner or PerformanceRunner(config, settings)
+    runner = runner or PerformanceRunner(config, settings, context=context)
     names = ("Base", "Hard", "Hard+Sys", "ora-256x256", "ora-128x128")
     table = runner.speedups(names, normalise_to="ora-64x64")
     means = {
@@ -216,41 +362,59 @@ def fig05c(
     return {"per_benchmark": table, "geomean": means}
 
 
-def fig05d(config: SystemConfig | None = None) -> dict:
+@experiment(output_keys=("reports",))
+def fig05d(
+    config: SystemConfig | None = None, context: RunContext | None = None
+) -> dict:
     """Fig. 5d: hardware overheads normalised to the baseline chip."""
-    config = config or default_config()
-    schemes = standard_schemes(config)
+    config, context = _resolve(config, context)
+    schemes = context.schemes(config)
     order = ["Base", "Hard", "Hard+Sys", "DRVR", "UDRVR+PR"]
     return {"reports": [chip_overheads(config, schemes[n]) for n in order]}
 
 
-def fig06(config: SystemConfig | None = None) -> dict:
+@experiment(output_keys=("naive", "drvr"))
+def fig06(
+    config: SystemConfig | None = None, context: RunContext | None = None
+) -> dict:
     """Fig. 6: naive 3.7 V over-RESET and the DRVR maps.
 
     Paper anchors: 1.5K-5K writes at the bottom-left under a static
     3.7 V; with DRVR all cells of a BL share ~the same effective Vrst
     while the bottom-left keeps its 5e6-write endurance.
     """
-    config = config or default_config()
-    model = get_ir_model(config)
+    config, context = _resolve(config, context)
+    model = context.ir_model(config)
     naive = make_naive_high_voltage(config)
     drvr = make_drvr(config)
     return {
         "naive": _maps_payload(
-            config, naive.regulator.matrix(model), n_bits=1
+            context, config, naive.regulator.matrix(model), n_bits=1
         ),
-        "drvr": _maps_payload(config, drvr.regulator.matrix(model), n_bits=1),
+        "drvr": _maps_payload(
+            context, config, drvr.regulator.matrix(model), n_bits=1
+        ),
     }
 
 
-def fig07b(config: SystemConfig | None = None) -> dict:
+@experiment(
+    output_keys=(
+        "static_profile",
+        "drvr_profile",
+        "static_delta",
+        "drvr_intra_section_delta",
+    )
+)
+def fig07b(
+    config: SystemConfig | None = None, context: RunContext | None = None
+) -> dict:
     """Fig. 7b: effective Vrst along the left-most BL, with/without DRVR.
 
     Paper anchors: ~0.66 V near/far difference without DRVR; <0.1 V
     within each section with 8 levels.
     """
-    config = config or default_config()
-    model = get_ir_model(config)
+    config, context = _resolve(config, context)
+    model = context.ir_model(config)
     a = config.array.size
     static = model.v_eff_map(config.cell.v_reset)[:, 0]
     drvr = make_drvr(config)
@@ -274,21 +438,26 @@ def fig07b(config: SystemConfig | None = None) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def fig09(config: SystemConfig | None = None, writes: int = 2000) -> dict:
+@experiment(workloads=TABLE_IV, output_keys=("histograms",))
+def fig09(
+    config: SystemConfig | None = None,
+    writes: int = 2000,
+    context: RunContext | None = None,
+) -> dict:
     """Fig. 9: RESET-bit count distribution of 64B writes per 8-bit MAT.
 
     Paper anchors: most MATs see no RESET in a write; 1-3-bit RESETs
     appear in almost every write; 7/8-bit RESETs are rare except for
     xalancbmk.
     """
-    config = config or default_config()
+    config, context = _resolve(config, context)
     width = config.array.data_width
     line_bits = config.memory.line_bytes * 8
     mats = line_bits // width
     histograms: dict[str, np.ndarray] = {}
     for name, spec in benchmark_suite().items():
         generator = WritePatternGenerator(
-            spec.patterns[0], line_bits=line_bits, seed=17
+            spec.patterns[0], line_bits=line_bits, seed=context.seed_for(17)
         )
         counts = np.zeros(width + 1, dtype=float)
         for _ in range(writes):
@@ -299,13 +468,16 @@ def fig09(config: SystemConfig | None = None, writes: int = 2000) -> dict:
     return {"histograms": histograms}
 
 
-def fig11a(config: SystemConfig | None = None) -> dict:
+@experiment(output_keys=("series", "optimal_bits"))
+def fig11a(
+    config: SystemConfig | None = None, context: RunContext | None = None
+) -> dict:
     """Fig. 11a: worst-cell effective Vrst under N-bit RESETs.
 
     Paper anchor: improves up to ~4 concurrent RESETs, degrades beyond.
     """
-    config = config or default_config()
-    model = get_ir_model(config)
+    config, context = _resolve(config, context)
+    model = context.ir_model(config)
     a = config.array.size
     series = [
         (n, model.v_eff(a - 1, a - 1, n_bits=n))
@@ -315,43 +487,56 @@ def fig11a(config: SystemConfig | None = None) -> dict:
     return {"series": series, "optimal_bits": best}
 
 
-def fig11(config: SystemConfig | None = None) -> dict:
+@experiment(output_keys=("n_bits", *_MAP_KEYS))
+def fig11(
+    config: SystemConfig | None = None, context: RunContext | None = None
+) -> dict:
     """Fig. 11b/c/d: DRVR + PR maps at the partition optimum."""
-    config = config or default_config()
-    model = get_ir_model(config)
+    config, context = _resolve(config, context)
+    model = context.ir_model(config)
     drvr = make_drvr(config)
     n = model.wl_model.optimal_bits()
     return {
         "n_bits": n,
-        **_maps_payload(config, drvr.regulator.matrix(model), n_bits=n),
+        **_maps_payload(context, config, drvr.regulator.matrix(model), n_bits=n),
     }
 
 
-def fig13(config: SystemConfig | None = None) -> dict:
+@experiment(output_keys=(*_MAP_KEYS, "worst_case_write_latency"))
+def fig13(
+    config: SystemConfig | None = None, context: RunContext | None = None
+) -> dict:
     """Fig. 13: UDRVR+PR latency and endurance maps.
 
     Paper anchors: ~71 ns array RESET latency; left-most-BL endurance
     lifted to ~6.7e7 writes.
     """
-    config = config or default_config()
+    config, context = _resolve(config, context)
     from ..techniques.udrvr import make_udrvr_pr
 
     scheme = make_udrvr_pr(config)
-    model = get_ir_model(config)
+    model = context.ir_model(config)
     n = model.wl_model.optimal_bits()
-    payload = _maps_payload(config, scheme.regulator.matrix(model), n_bits=n)
+    payload = _maps_payload(
+        context, config, scheme.regulator.matrix(model), n_bits=n
+    )
     latency_model = SchemeLatencyModel(config, scheme)
     payload["worst_case_write_latency"] = latency_model.worst_case_write_latency()
     return payload
 
 
-def fig14(config: SystemConfig | None = None, writes: int = 1500) -> dict:
+@experiment(workloads=TABLE_IV, output_keys=("per_benchmark", "mean"))
+def fig14(
+    config: SystemConfig | None = None,
+    writes: int = 1500,
+    context: RunContext | None = None,
+) -> dict:
     """Fig. 14: extra writes caused by PR (and D-BL) over Flip-N-Write.
 
     Paper anchors: PR +54% RESETs / +48% SETs / +50.7% writes, 14.3% of
     cells written; D-BL +235% RESETs / +108% writes, ~20% cells.
     """
-    config = config or default_config()
+    config, context = _resolve(config, context)
     width = config.array.data_width
     line_bits = config.memory.line_bytes * 8
     mats = line_bits // width
@@ -360,7 +545,7 @@ def fig14(config: SystemConfig | None = None, writes: int = 1500) -> dict:
     rows: dict[str, dict[str, float]] = {}
     for name, spec in benchmark_suite().items():
         generator = WritePatternGenerator(
-            spec.patterns[0], line_bits=line_bits, seed=29
+            spec.patterns[0], line_bits=line_bits, seed=context.seed_for(29)
         )
         base_resets = base_sets = 0
         pr_resets = pr_sets = 0
@@ -406,17 +591,23 @@ def fig14(config: SystemConfig | None = None, writes: int = 1500) -> dict:
 # ---------------------------------------------------------------------------
 
 
+@experiment(
+    simulation=True,
+    workloads=TABLE_IV,
+    output_keys=("per_benchmark", "geomean", "udrvr_pr_over_hard_sys"),
+)
 def fig15(
     config: SystemConfig | None = None,
     settings: PerfSettings = PerfSettings(),
     runner: PerformanceRunner | None = None,
+    context: RunContext | None = None,
 ) -> dict:
     """Fig. 15: overall performance of every scheme vs ora-64x64.
 
     Paper anchor: UDRVR+PR beats Hard+Sys by 11.7% on average and
     reaches ~90% of ora-64x64.
     """
-    runner = runner or PerformanceRunner(config, settings)
+    runner = runner or PerformanceRunner(config, settings, context=context)
     names = (
         "Base",
         "Hard",
@@ -440,21 +631,29 @@ def fig15(
     }
 
 
+@experiment(
+    simulation=True,
+    workloads=TABLE_IV,
+    output_keys=("per_benchmark", "udrvr_pr_mean_normalised"),
+)
 def fig16(
     config: SystemConfig | None = None,
     settings: PerfSettings = PerfSettings(),
     runner: PerformanceRunner | None = None,
+    context: RunContext | None = None,
 ) -> dict:
     """Fig. 16: main-memory energy, normalised to Hard+Sys.
 
     Paper anchor: UDRVR+PR consumes ~46% less energy than Hard+Sys,
     mostly by avoiding the hardware baselines' peripheral leakage.
     """
-    runner = runner or PerformanceRunner(config, settings)
+    runner = runner or PerformanceRunner(config, settings, context=context)
+    names = ("Hard+Sys", "DRVR", "UDRVR+PR")
+    runner.prefetch(names)
     rows: dict[str, dict[str, dict[str, float]]] = {}
     for benchmark in runner.benchmark_names:
         per_scheme = {}
-        for name in ("Hard+Sys", "DRVR", "UDRVR+PR"):
+        for name in names:
             result = runner.run(name, benchmark)
             model = EnergyModel(runner.config, runner.scheme(name))
             report = model.report(result.stats, result.elapsed_s)
@@ -475,13 +674,19 @@ def fig16(
     return {"per_benchmark": rows, "udrvr_pr_mean_normalised": mean}
 
 
+@experiment(
+    simulation=True,
+    workloads=TABLE_IV,
+    output_keys=("per_benchmark", "udrvr_pr_over_394", "udrvr_pr_energy_vs_394"),
+)
 def fig17(
     config: SystemConfig | None = None,
     settings: PerfSettings = PerfSettings(),
     runner: PerformanceRunner | None = None,
+    context: RunContext | None = None,
 ) -> dict:
     """Fig. 17: UDRVR-3.94 vs UDRVR+PR, normalised to Hard+Sys."""
-    runner = runner or PerformanceRunner(config, settings)
+    runner = runner or PerformanceRunner(config, settings, context=context)
     table = runner.speedups(("UDRVR-3.94", "UDRVR+PR"), normalise_to="Hard+Sys")
     improvement = _geomean(
         row["UDRVR+PR"] / row["UDRVR-3.94"] for row in table.values()
@@ -506,7 +711,9 @@ def fig17(
 
 
 def _sweep(
-    configs: dict[str, SystemConfig], settings: PerfSettings
+    configs: dict[str, SystemConfig],
+    settings: PerfSettings,
+    context: RunContext | None = None,
 ) -> dict[str, dict[str, float]]:
     """UDRVR+PR speedup over Hard+Sys and over Base per config variant.
 
@@ -517,7 +724,7 @@ def _sweep(
     """
     outcome = {}
     for label, config in configs.items():
-        runner = PerformanceRunner(config, settings)
+        runner = PerformanceRunner(config, settings, context=context)
         table = runner.speedups(("UDRVR+PR", "Base"), normalise_to="Hard+Sys")
         outcome[label] = {
             "vs_hard_sys": _geomean(
@@ -530,27 +737,31 @@ def _sweep(
     return outcome
 
 
+@experiment(simulation=True, workloads=SWEEP_SUBSET, output_keys=("improvement",))
 def fig18(
     config: SystemConfig | None = None,
-    settings: PerfSettings = PerfSettings(benchmarks=("mcf_m", "lbm_m", "mum_m")),
+    settings: PerfSettings = PerfSettings(benchmarks=SWEEP_SUBSET),
+    context: RunContext | None = None,
 ) -> dict:
     """Fig. 18: UDRVR+PR improvement for 256/512/1K arrays.
 
     Paper anchor: +6.7% / +11.7% / +18.2% — larger arrays suffer more
     drop, so the techniques matter more.
     """
-    base = config or default_config()
+    base, context = _resolve(config, context)
     variants = {
         "256x256": base.with_array(size=256),
         "512x512": base,
         "1Kx1K": base.with_array(size=1024),
     }
-    return {"improvement": _sweep(variants, settings)}
+    return {"improvement": _sweep(variants, settings, context)}
 
 
+@experiment(simulation=True, workloads=SWEEP_SUBSET, output_keys=("improvement",))
 def fig19(
     config: SystemConfig | None = None,
-    settings: PerfSettings = PerfSettings(benchmarks=("mcf_m", "lbm_m", "mum_m")),
+    settings: PerfSettings = PerfSettings(benchmarks=SWEEP_SUBSET),
+    context: RunContext | None = None,
 ) -> dict:
     """Fig. 19: improvement vs wire resistance (32 / 20 / 10 nm).
 
@@ -558,31 +769,33 @@ def fig19(
     """
     from ..circuit.wire import wire_resistance
 
-    base = config or default_config()
+    base, context = _resolve(config, context)
     variants = {
         f"{node:g}nm": base.with_array(
             tech_node_nm=node, r_wire=wire_resistance(node)
         )
         for node in (32.0, 20.0, 10.0)
     }
-    return {"improvement": _sweep(variants, settings)}
+    return {"improvement": _sweep(variants, settings, context)}
 
 
+@experiment(simulation=True, workloads=SWEEP_SUBSET, output_keys=("improvement",))
 def fig20(
     config: SystemConfig | None = None,
-    settings: PerfSettings = PerfSettings(benchmarks=("mcf_m", "lbm_m", "mum_m")),
+    settings: PerfSettings = PerfSettings(benchmarks=SWEEP_SUBSET),
+    context: RunContext | None = None,
 ) -> dict:
     """Fig. 20: improvement vs selector ON/OFF ratio (0.5K / 1K / 2K).
 
     Paper anchor: +18.9% / +11.7% / +5.8% — leakier selectors, more
     sneak, more to mitigate.
     """
-    base = config or default_config()
+    base, context = _resolve(config, context)
     variants = {
         f"Kr={int(kr)}": base.with_array(selector=SelectorParams(kr=kr))
         for kr in (500.0, 1000.0, 2000.0)
     }
-    return {"improvement": _sweep(variants, settings)}
+    return {"improvement": _sweep(variants, settings, context)}
 
 
 # ---------------------------------------------------------------------------
@@ -590,9 +803,12 @@ def fig20(
 # ---------------------------------------------------------------------------
 
 
-def table_parameters(config: SystemConfig | None = None) -> dict:
+@experiment(output_keys=("cell", "array", "pump", "memory", "cpu"))
+def table_parameters(
+    config: SystemConfig | None = None, context: RunContext | None = None
+) -> dict:
     """Tables I and III: the model parameters in force."""
-    config = config or default_config()
+    config, _ = _resolve(config, context)
     return {
         "cell": config.cell,
         "array": config.array,
@@ -602,15 +818,21 @@ def table_parameters(config: SystemConfig | None = None) -> dict:
     }
 
 
-def table_benchmarks(samples: int = 4000) -> dict:
+@experiment(workloads=TABLE_IV, output_keys=("rows",))
+def table_benchmarks(
+    config: SystemConfig | None = None,
+    samples: int = 4000,
+    context: RunContext | None = None,
+) -> dict:
     """Table IV: generated RPKI/WPKI vs the published targets."""
     from ..workloads.synthetic import SyntheticStream
 
+    _, context = _resolve(config, context)
     rows = {}
     for name, spec in benchmark_suite().items():
         target_rpki = float(np.mean([s.rpki for s in spec.streams]))
         target_wpki = float(np.mean([s.wpki for s in spec.streams]))
-        stream = SyntheticStream(spec.streams[0], seed=5)
+        stream = SyntheticStream(spec.streams[0], seed=context.seed_for(5))
         trace = stream.take(samples)
         rows[name] = {
             "target_rpki": target_rpki,

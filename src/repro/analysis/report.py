@@ -6,9 +6,12 @@ and tables report; these helpers keep that output consistent.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-__all__ = ["format_table", "format_series", "format_value"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.artifact import ExperimentResult
+
+__all__ = ["format_table", "format_series", "format_value", "format_result_meta"]
 
 
 def format_value(value: object, precision: int = 3) -> str:
@@ -49,6 +52,16 @@ def format_table(
     for row in rendered:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_result_meta(result: "ExperimentResult") -> str:
+    """One-line provenance footer for an engine experiment result."""
+    return (
+        f"[{result.name}: {result.wall_s:.2f}s"
+        f"  executor={result.executor}"
+        f"  cache={result.cache}"
+        f"  config={result.config_hash}]"
+    )
 
 
 def format_series(

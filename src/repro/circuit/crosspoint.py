@@ -26,7 +26,7 @@ import numpy as np
 
 from ..config import SystemConfig
 from .cell import CellModel
-from .network import GROUND, Network
+from .network import Network
 from .selector import OnStackModel, SelectorModel
 
 __all__ = ["BiasScheme", "FullArraySolution", "FullArrayModel", "BASELINE_BIAS"]

@@ -12,6 +12,9 @@ hashable (maps of IR-drop results are cached per configuration).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Mapping
 
@@ -27,6 +30,7 @@ __all__ = [
     "LifetimeParams",
     "SystemConfig",
     "default_config",
+    "config_hash",
 ]
 
 
@@ -291,3 +295,22 @@ def default_config(**array_changes: Mapping) -> SystemConfig:
     if array_changes:
         config = config.with_array(**array_changes)
     return config
+
+
+def config_hash(config: SystemConfig) -> str:
+    """Stable content hash of a configuration (or any params dataclass).
+
+    The hash is a SHA-256 digest of the canonical JSON rendering of the
+    dataclass fields (sorted keys, recursive), truncated to 16 hex
+    characters.  Two structurally equal configurations hash equal across
+    processes and interpreter runs, which makes the hash usable as a
+    cache key for IR-drop models and on-disk experiment results — unlike
+    ``hash()``, which Python salts per process.
+    """
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise TypeError(f"expected a params dataclass instance, got {config!r}")
+    doc = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(doc.encode()).hexdigest()[:16]

@@ -13,7 +13,7 @@ simulator models explicitly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import CpuParams
 

@@ -1,0 +1,52 @@
+"""Experiment engine: declarative registry, run context, executors,
+and cached typed artifacts.
+
+The engine turns "one figure = one function call" into a pipeline:
+
+* :mod:`repro.engine.registry` — drivers self-register as declarative
+  :class:`Experiment` records (name, simulation?, workloads, schema);
+* :mod:`repro.engine.context` — :class:`RunContext` carries the config,
+  a bounded config-hash-keyed model cache, the executor, the result
+  cache, and the RNG seed;
+* :mod:`repro.engine.executor` — serial and process-pool executors with
+  deterministic result ordering and per-task timing;
+* :mod:`repro.engine.cache` — opt-in on-disk result cache under
+  ``.repro_cache/`` keyed by config/params/code-version hashes;
+* :mod:`repro.engine.artifact` — :class:`ExperimentResult`, the typed
+  payload + provenance record the CLI renders;
+* :mod:`repro.engine.runner` — :func:`run_experiment` front door.
+"""
+
+from .artifact import ExperimentResult
+from .cache import DEFAULT_CACHE_DIR, NullCache, ResultCache, cache_key
+from .context import RunContext
+from .executor import ParallelExecutor, SerialExecutor, TaskResult, make_executor
+from .registry import (
+    Experiment,
+    all_experiments,
+    experiment,
+    experiment_names,
+    get_experiment,
+    suggest,
+)
+from .runner import run_experiment
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "Experiment",
+    "ExperimentResult",
+    "NullCache",
+    "ParallelExecutor",
+    "ResultCache",
+    "RunContext",
+    "SerialExecutor",
+    "TaskResult",
+    "all_experiments",
+    "cache_key",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
+    "make_executor",
+    "run_experiment",
+    "suggest",
+]

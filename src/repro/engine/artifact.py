@@ -1,0 +1,53 @@
+"""Typed experiment artifacts: payload + run provenance.
+
+:class:`ExperimentResult` is what the engine runner returns and what
+``python -m repro`` renders: the figure payload dictionary exactly as
+the driver produced it, plus metadata about how it was produced — wall
+time, executor, cache hit/miss, config hash, and seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment run with provenance metadata."""
+
+    name: str
+    payload: dict
+    config_hash: str
+    wall_s: float
+    executor: str = "serial"
+    cache: str = "off"  # "hit" | "miss" | "off"
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache == "hit"
+
+    def meta(self) -> dict:
+        """Provenance as a plain dictionary (JSON-exportable)."""
+        return {
+            "experiment": self.name,
+            "config_hash": self.config_hash,
+            "wall_s": self.wall_s,
+            "executor": self.executor,
+            "cache": self.cache,
+            "seed": self.seed,
+            **self.extra,
+        }
+
+    def to_plain(self) -> dict:
+        """JSON-serialisable document: ``{experiment, meta, payload}``."""
+        from ..analysis.export import to_plain
+
+        return {
+            "experiment": self.name,
+            "meta": self.meta(),
+            "payload": to_plain(self.payload),
+        }

@@ -1,0 +1,121 @@
+"""Opt-in on-disk result cache under ``.repro_cache/``.
+
+Results are keyed by a stable SHA-256 over (cache-schema version,
+package version, and arbitrary JSON-canonicalisable key parts — in
+practice the :func:`repro.config.config_hash`, the experiment name, and
+the workload parameters).  Values are pickled, written atomically, and
+loaded back bit-identical, so a re-run of ``python -m repro fig15`` is
+a cache hit and composed figures share (scheme, benchmark) cells across
+invocations.
+
+Invalidation: bumping the package version (or :data:`SCHEMA_VERSION`)
+changes every key; ``python -m repro <exp> --no-cache`` bypasses the
+cache; deleting ``.repro_cache/`` clears it.  Cache files are local
+pickles — do not share them across trust boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["MISSING", "NullCache", "ResultCache", "cache_key", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Bump when the on-disk layout or keying scheme changes.
+SCHEMA_VERSION = 1
+
+_MISSING_TYPE = type("_MISSING_TYPE", (), {"__repr__": lambda self: "MISSING"})
+MISSING: Any = _MISSING_TYPE()
+
+
+def _code_version() -> str:
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - import cycle / broken install
+        return "unknown"
+
+
+def _canonical(part: Any) -> Any:
+    """Render one key part as a JSON-stable value."""
+    if dataclasses.is_dataclass(part) and not isinstance(part, type):
+        return dataclasses.asdict(part)
+    if isinstance(part, (list, tuple)):
+        return [_canonical(item) for item in part]
+    if isinstance(part, dict):
+        return {str(k): _canonical(v) for k, v in sorted(part.items(), key=str)}
+    if isinstance(part, (str, int, float, bool)) or part is None:
+        return part
+    return repr(part)
+
+
+def cache_key(*parts: Any) -> str:
+    """Stable hex key over arbitrary key parts plus the code version."""
+    doc = json.dumps(
+        [SCHEMA_VERSION, _code_version(), [_canonical(p) for p in parts]],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(doc.encode()).hexdigest()[:32]
+
+
+class NullCache:
+    """Cache disabled: every lookup misses, every store is dropped."""
+
+    enabled = False
+
+    def load(self, key: str) -> Any:
+        return MISSING
+
+    def store(self, key: str, value: Any) -> None:
+        pass
+
+
+class ResultCache:
+    """Pickle-per-key directory cache with atomic writes."""
+
+    enabled = True
+
+    def __init__(self, root: "str | Path" = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str) -> Any:
+        """The stored value, or :data:`MISSING` (corrupt entries miss too)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return MISSING
+        except (pickle.UnpicklingError, EOFError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISSING
+
+    def store(self, key: str, value: Any) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

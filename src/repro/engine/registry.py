@@ -1,0 +1,122 @@
+"""Declarative experiment registry.
+
+Every paper figure/table driver registers itself with the
+:func:`experiment` decorator, declaring up front whether it is
+simulation-backed (accepts ``PerfSettings`` / ``--quick`` /
+``--benchmarks``), which Table IV workloads it consumes, and the
+top-level keys of its payload.  The CLI and the engine runner consume
+:func:`all_experiments` instead of scraping ``experiments.__all__``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "Experiment",
+    "experiment",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "experiment_names",
+    "ensure_loaded",
+    "suggest",
+]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered figure/table driver and its declared contract."""
+
+    name: str
+    driver: Callable[..., dict]
+    title: str = ""
+    simulation: bool = False  # accepts PerfSettings (--quick/--benchmarks)
+    workloads: tuple[str, ...] = ()  # Table IV workloads the driver consumes
+    output_keys: tuple[str, ...] = ()  # required top-level payload keys
+    quick: bool = True  # honours reduced sizing (circuit figures ignore it)
+
+    def validate_payload(self, payload: dict) -> None:
+        """Check a driver's payload against the declared output schema."""
+        missing = [key for key in self.output_keys if key not in payload]
+        if missing:
+            raise RuntimeError(
+                f"experiment {self.name!r} payload is missing declared "
+                f"keys {missing}; got {sorted(payload)}"
+            )
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(exp: Experiment) -> Experiment:
+    """Add one experiment; duplicate names are a programming error."""
+    if exp.name in _REGISTRY:
+        raise ValueError(f"experiment {exp.name!r} registered twice")
+    _REGISTRY[exp.name] = exp
+    return exp
+
+
+def experiment(
+    *,
+    simulation: bool = False,
+    workloads: tuple[str, ...] = (),
+    output_keys: tuple[str, ...] = (),
+    name: str | None = None,
+):
+    """Decorator: register a driver function as an :class:`Experiment`.
+
+    The experiment name defaults to the function name and the title to
+    the first line of its docstring.
+    """
+
+    def wrap(fn: Callable[..., dict]) -> Callable[..., dict]:
+        title = (fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else ""
+        register(
+            Experiment(
+                name=name or fn.__name__,
+                driver=fn,
+                title=title,
+                simulation=simulation,
+                workloads=tuple(workloads),
+                output_keys=tuple(output_keys),
+            )
+        )
+        return fn
+
+    return wrap
+
+
+def ensure_loaded() -> None:
+    """Import the driver modules so their decorators have run."""
+    from ..analysis import experiments  # noqa: F401  (import is the side effect)
+
+
+def all_experiments() -> dict[str, Experiment]:
+    """Name -> experiment, sorted by name (registrations loaded first)."""
+    ensure_loaded()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def experiment_names() -> tuple[str, ...]:
+    return tuple(all_experiments())
+
+
+def get_experiment(name: str) -> Experiment:
+    ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        hint = suggest(name, tuple(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {name!r}"
+            + (f" (did you mean {hint!r}?)" if hint else "")
+        ) from None
+
+
+def suggest(name: str, candidates: tuple[str, ...]) -> str | None:
+    """Closest candidate to a mistyped name, or None if nothing is close."""
+    matches = difflib.get_close_matches(name, candidates, n=1, cutoff=0.5)
+    return matches[0] if matches else None

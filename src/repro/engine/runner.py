@@ -1,0 +1,76 @@
+"""The engine front door: run one registered experiment in a context.
+
+:func:`run_experiment` resolves the experiment in the registry, checks
+the context's result cache (key: config hash + experiment name +
+workload parameters + code version), invokes the driver with the
+context threaded through, validates the payload against the declared
+output schema, and wraps everything in an
+:class:`~repro.engine.artifact.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from ..config import config_hash
+from .artifact import ExperimentResult
+from .cache import MISSING, cache_key
+from .context import RunContext
+from .registry import get_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.experiments import PerfSettings
+
+__all__ = ["run_experiment"]
+
+
+def run_experiment(
+    name: str,
+    context: RunContext | None = None,
+    settings: "PerfSettings | None" = None,
+) -> ExperimentResult:
+    """Run one experiment end to end and return the typed artifact.
+
+    ``settings`` applies only to simulation-backed experiments; ``None``
+    leaves the driver's own default sizing in force (figures 18-20 keep
+    their representative benchmark subsets).
+    """
+    experiment = get_experiment(name)
+    context = context or RunContext()
+    cfg_hash = config_hash(context.config)
+    key = cache_key(
+        "experiment",
+        cfg_hash,
+        name,
+        settings if experiment.simulation else None,
+        context.seed,
+    )
+    start = time.perf_counter()
+    payload = context.cache.load(key)
+    if payload is not MISSING:
+        return ExperimentResult(
+            name=name,
+            payload=payload,
+            config_hash=cfg_hash,
+            wall_s=time.perf_counter() - start,
+            executor=context.executor.label,
+            cache="hit",
+            seed=context.seed,
+        )
+    kwargs: dict = {"config": context.config, "context": context}
+    if experiment.simulation and settings is not None:
+        kwargs["settings"] = settings
+    payload = experiment.driver(**kwargs)
+    wall_s = time.perf_counter() - start
+    experiment.validate_payload(payload)
+    context.cache.store(key, payload)
+    return ExperimentResult(
+        name=name,
+        payload=payload,
+        config_hash=cfg_hash,
+        wall_s=wall_s,
+        executor=context.executor.label,
+        cache="miss" if context.cache.enabled else "off",
+        seed=context.seed,
+    )

@@ -22,7 +22,7 @@ read completions through per-request callbacks.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..config import SystemConfig

@@ -22,7 +22,7 @@ memory-system simulator looks up on every write.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 

@@ -18,8 +18,13 @@ drivers (Figs. 5c, 15-20).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..circuit.crosspoint import BiasScheme
 from ..config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.context import RunContext
 from .base import Scheme
 from .baseline import make_baseline, make_naive_high_voltage
 from .drvr import make_drvr
@@ -81,9 +86,19 @@ def make_drvr_pr(config: SystemConfig) -> Scheme:
 
 
 def standard_schemes(
-    config: SystemConfig, oracle_sections: tuple[int, ...] = (64, 128, 256)
+    config: SystemConfig,
+    oracle_sections: tuple[int, ...] = (64, 128, 256),
+    context: "RunContext | None" = None,
 ) -> dict[str, Scheme]:
-    """All schemes the evaluation section compares (name -> scheme)."""
+    """All schemes the evaluation section compares (name -> scheme).
+
+    Passing an engine :class:`~repro.engine.context.RunContext` memoises
+    the built registry on the context, keyed by the config hash, so
+    composed figures and repeated runner constructions share one set of
+    scheme objects (and their lazily built latency tables).
+    """
+    if context is not None:
+        return context.schemes(config, tuple(oracle_sections))
     schemes = {
         "Base": make_baseline(config),
         "Hard": make_hard(config),

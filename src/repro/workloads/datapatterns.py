@@ -44,10 +44,22 @@ class PatternParams:
 
 
 class WritePatternGenerator:
-    """Draws (RESET mask, SET mask) pairs for line writes."""
+    """Draws (RESET mask, SET mask) pairs for line writes.
+
+    All randomness lives in the instance's own generator, seeded
+    explicitly at construction (no module-level RNG): identical
+    (params, line_bits, seed) triples reproduce identical mask
+    sequences, which is what makes repeated ``fig09``/``fig14`` runs
+    bit-identical.  The seed may also be a ready-made
+    :class:`numpy.random.Generator` (e.g. from
+    :meth:`repro.engine.context.RunContext.rng`).
+    """
 
     def __init__(
-        self, params: PatternParams, line_bits: int = 512, seed: int = 0
+        self,
+        params: PatternParams,
+        line_bits: int = 512,
+        seed: "int | np.random.Generator" = 0,
     ) -> None:
         if line_bits % params.word_bits:
             raise ValueError(

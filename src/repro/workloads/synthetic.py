@@ -49,13 +49,23 @@ class StreamParams:
 
 
 class SyntheticStream:
-    """Reproducible per-core access stream."""
+    """Reproducible per-core access stream.
+
+    Every random draw comes from the instance's own generator, seeded
+    explicitly at construction — there is no module-level RNG, so two
+    streams built with the same (params, seed) are bit-identical.  The
+    engine's :meth:`repro.engine.context.RunContext.seed_for` derives
+    per-driver seeds; pass a :class:`numpy.random.Generator` directly to
+    hand over an externally managed stream.
+    """
 
     LINE_BYTES = 64
 
     _PERM_MULTIPLIER = 0x9E3779B1  # odd -> bijective modulo any even size
 
-    def __init__(self, params: StreamParams, seed: int = 0) -> None:
+    def __init__(
+        self, params: StreamParams, seed: "int | np.random.Generator" = 0
+    ) -> None:
         self.params = params
         self._rng = np.random.default_rng(seed)
         self._mpki = params.rpki + params.wpki

@@ -20,7 +20,7 @@ DRVR sections).
 
 from __future__ import annotations
 
-from functools import lru_cache
+from collections import OrderedDict
 
 import numpy as np
 
@@ -28,9 +28,9 @@ from ..circuit.cell import CellModel
 from ..circuit.crosspoint import BASELINE_BIAS, BiasScheme
 from ..circuit.equivalent import WordlineDropModel
 from ..circuit.line_model import ReducedArrayModel
-from ..config import SystemConfig
+from ..config import SystemConfig, config_hash
 
-__all__ = ["ArrayIRModel", "get_ir_model"]
+__all__ = ["ArrayIRModel", "ModelCache", "get_ir_model"]
 
 _PROFILE_SAMPLES = 13
 _VOLTAGE_QUANTUM = 0.02  # cache key resolution for applied voltages
@@ -207,7 +207,45 @@ class ArrayIRModel:
         return float(finite.max())
 
 
-@lru_cache(maxsize=32)
+class ModelCache:
+    """Bounded LRU cache of :class:`ArrayIRModel` instances.
+
+    Keyed by :func:`repro.config.config_hash`, so structurally equal
+    configurations share one model regardless of object identity or the
+    per-process ``hash()`` salt.  An engine
+    :class:`~repro.engine.context.RunContext` carries its own instance;
+    the module-level :func:`get_ir_model` delegates to a shared default.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, ArrayIRModel] = OrderedDict()
+
+    def get(self, config: SystemConfig) -> ArrayIRModel:
+        """The cached model for ``config``, building it on first use."""
+        key = config_hash(config)
+        model = self._entries.get(key)
+        if model is None:
+            model = ArrayIRModel(config)
+            self._entries[key] = model
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+        return model
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_DEFAULT_CACHE = ModelCache()
+
+
 def get_ir_model(config: SystemConfig) -> ArrayIRModel:
     """Shared, memoised :class:`ArrayIRModel` per configuration."""
-    return ArrayIRModel(config)
+    return _DEFAULT_CACHE.get(config)

@@ -126,12 +126,57 @@ class TestLifetimeAndOverheads:
         assert reports["UDRVR+PR"].area_factor < 1.1
 
 
+class TestDeterminism:
+    def test_fig09_repeat_runs_bit_identical(self):
+        """The RunContext-threaded seeds make repeated runs bit-identical."""
+        first = fig09(writes=120)
+        second = fig09(writes=120)
+        assert set(first["histograms"]) == set(second["histograms"])
+        for name in first["histograms"]:
+            assert np.array_equal(
+                first["histograms"][name], second["histograms"][name]
+            ), name
+
+    def test_fig09_context_seed_changes_draws(self):
+        from repro.engine import RunContext
+
+        default = fig09(writes=60)
+        reseeded = fig09(writes=60, context=RunContext(seed=11))
+        changed = any(
+            not np.array_equal(default["histograms"][n], reseeded["histograms"][n])
+            for n in default["histograms"]
+        )
+        assert changed
+
+    def test_table_benchmarks_repeat_runs_identical(self):
+        first = table_benchmarks(samples=500)
+        second = table_benchmarks(samples=500)
+        assert first["rows"] == second["rows"]
+
+
 class TestPerformanceRunner:
     def test_memoisation(self):
         runner = PerformanceRunner(settings=QUICK)
         first = runner.run("Base", "mcf_m")
         second = runner.run("Base", "mcf_m")
         assert first is second
+
+    def test_disk_cache_shares_cells_across_runners(self, tmp_path):
+        from repro.engine import ResultCache, RunContext
+
+        context = RunContext(cache=ResultCache(tmp_path / "cache"))
+        warm = PerformanceRunner(settings=QUICK, context=context)
+        result = warm.run("Base", "mcf_m")
+        cold = PerformanceRunner(settings=QUICK, context=context)
+        reloaded = cold.run("Base", "mcf_m")
+        assert reloaded is not result  # came from disk, not memory
+        assert reloaded.ipc == result.ipc
+        assert reloaded.per_core_ipc == result.per_core_ipc
+
+    def test_prefetch_validates_scheme_names_early(self):
+        runner = PerformanceRunner(settings=QUICK)
+        with pytest.raises(KeyError):
+            runner.prefetch(("Base", "bogus"))
 
     def test_speedup_table_structure(self):
         runner = PerformanceRunner(settings=QUICK)

@@ -4,7 +4,6 @@ import json
 import math
 
 import numpy as np
-import pytest
 
 from repro.analysis.export import export_csv_tables, export_json, to_plain
 from repro.analysis.maps import MapSummary

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.scorecard import scorecard, scorecard_table
-from repro.techniques import make_baseline, make_udrvr_pr, standard_schemes
+from repro.techniques import make_baseline, standard_schemes
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,6 @@ from repro.analysis.sensitivity import (
     baseline_latency_metric,
     sensitivity_report,
 )
-from repro.config import default_config
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,6 @@ calibration table); loosening them silently would invalidate every
 downstream figure.
 """
 
-import numpy as np
 import pytest
 
 from repro.xpoint.vmap import get_ir_model

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuit.crosspoint import BASELINE_BIAS, BiasScheme, FullArrayModel
+from repro.circuit.crosspoint import BiasScheme, FullArrayModel
 from repro.circuit.line_model import ReducedArrayModel
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.circuit.crosspoint import BiasScheme
 from repro.circuit.equivalent import WordlineDropModel
-from repro.config import default_config
 
 
 @pytest.fixture(scope="module")

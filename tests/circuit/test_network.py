@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuit.network import GROUND, ConvergenceError, Network, Solution
+from repro.circuit.network import GROUND, Network
 from repro.circuit.selector import OnStackModel
 
 

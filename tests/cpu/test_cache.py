@@ -1,6 +1,5 @@
 """Set-associative cache tests."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,0 +1,77 @@
+"""Disk cache round-trips and key stability."""
+
+import numpy as np
+import pytest
+
+from repro.engine import RunContext, run_experiment
+from repro.engine.cache import MISSING, NullCache, ResultCache, cache_key
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        assert cache_key("a", 1, (2, 3)) == cache_key("a", 1, (2, 3))
+
+    def test_sensitive_to_parts(self):
+        assert cache_key("a", 1) != cache_key("a", 2)
+        assert cache_key("a", 1) != cache_key("b", 1)
+
+    def test_dataclass_parts_canonicalised(self):
+        from repro.analysis.experiments import PerfSettings
+
+        assert cache_key(PerfSettings()) == cache_key(PerfSettings())
+        assert cache_key(PerfSettings()) != cache_key(PerfSettings(seed=4))
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key("unit")
+        assert cache.load(key) is MISSING
+        payload = {"x": np.arange(5), "y": [1.5, 2.5]}
+        cache.store(key, payload)
+        loaded = cache.load(key)
+        assert np.array_equal(loaded["x"], payload["x"])
+        assert loaded["y"] == payload["y"]
+
+    def test_corrupt_entry_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("corrupt")
+        cache.store(key, {"ok": True})
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert cache.load(key) is MISSING
+
+    def test_null_cache(self):
+        cache = NullCache()
+        cache.store("k", 1)
+        assert cache.load("k") is MISSING
+        assert not cache.enabled
+
+
+class TestExperimentRoundTrip:
+    def test_second_run_hits_and_payload_identical(self, tmp_path):
+        context = RunContext(cache=ResultCache(tmp_path / "cache"))
+        first = run_experiment("fig11a", context)
+        assert first.cache == "miss"
+        second = run_experiment("fig11a", context)
+        assert second.cache == "hit"
+        assert second.payload["optimal_bits"] == first.payload["optimal_bits"]
+        assert second.payload["series"] == first.payload["series"]
+        assert second.config_hash == first.config_hash
+
+    def test_no_cache_context_reports_off(self):
+        result = run_experiment("fig01e", RunContext())
+        assert result.cache == "off"
+        assert result.payload["reference"] == ("20 nm", 11.5)
+
+    def test_seed_changes_cache_key(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        miss = run_experiment("fig01e", RunContext(cache=cache))
+        assert miss.cache == "miss"
+        other_seed = run_experiment("fig01e", RunContext(cache=cache, seed=7))
+        assert other_seed.cache == "miss"
+        again = run_experiment("fig01e", RunContext(cache=cache, seed=7))
+        assert again.cache == "hit"
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")

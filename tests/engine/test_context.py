@@ -1,0 +1,67 @@
+"""RunContext: model cache, scheme registry cache, seed derivation."""
+
+import numpy as np
+
+from repro.config import default_config
+from repro.engine import RunContext
+from repro.xpoint.vmap import ModelCache
+
+
+class TestModelCache:
+    def test_structurally_equal_configs_share_models(self, small_config):
+        cache = ModelCache()
+        twin = default_config(size=small_config.array.size)
+        assert cache.get(small_config) is cache.get(twin)
+
+    def test_bounded_eviction(self, tiny_config):
+        cache = ModelCache(maxsize=2)
+        a = cache.get(tiny_config)
+        cache.get(default_config(size=32))
+        cache.get(default_config(size=64))  # evicts the tiny model
+        assert len(cache) == 2
+        assert cache.get(tiny_config) is not a
+
+    def test_context_ir_model_uses_own_cache(self, tiny_config):
+        context = RunContext(config=tiny_config, model_cache=ModelCache())
+        assert context.ir_model() is context.ir_model()
+        assert context.ir_model().config is tiny_config
+
+
+class TestSchemes:
+    def test_cached_per_config_hash(self, small_config):
+        context = RunContext(config=small_config)
+        first = context.schemes(oracle_sections=(16,))
+        second = context.schemes(oracle_sections=(16,))
+        assert first is second
+        assert "UDRVR+PR" in first
+
+    def test_standard_schemes_delegates_to_context(self, small_config):
+        from repro.techniques.stacks import standard_schemes
+
+        context = RunContext(config=small_config)
+        via_helper = standard_schemes(
+            small_config, oracle_sections=(16,), context=context
+        )
+        assert via_helper is context.schemes(small_config, (16,))
+
+
+class TestSeeds:
+    def test_default_context_preserves_base_seeds(self):
+        context = RunContext()
+        assert context.seed_for(17) == 17
+        assert context.seed_for(29) == 29
+
+    def test_nonzero_seed_perturbs_deterministically(self):
+        a = RunContext(seed=5)
+        b = RunContext(seed=5)
+        c = RunContext(seed=6)
+        assert a.seed_for(17) == b.seed_for(17)
+        assert a.seed_for(17) != 17
+        assert a.seed_for(17) != c.seed_for(17)
+        assert a.seed_for(17, "mcf_m") != a.seed_for(17, "zeu_m")
+
+    def test_rng_reproducible(self):
+        context = RunContext(seed=9)
+        x = context.rng(3, "stream").random(4)
+        y = context.rng(3, "stream").random(4)
+        assert np.array_equal(x, y)

@@ -1,0 +1,72 @@
+"""Executor determinism and parallel/serial equivalence."""
+
+import pytest
+
+from repro.analysis.experiments import PerfSettings, fig05c
+from repro.engine import RunContext
+from repro.engine.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestExecutors:
+    def test_serial_ordering_and_timing(self):
+        results = SerialExecutor().map(_square, [3, 1, 2])
+        assert [r.value for r in results] == [9, 1, 4]
+        assert [r.index for r in results] == [0, 1, 2]
+        assert all(r.wall_s >= 0 for r in results)
+
+    def test_parallel_matches_serial(self):
+        items = list(range(12))
+        serial = SerialExecutor().map(_square, items)
+        parallel = ParallelExecutor(4).map(_square, items)
+        assert [r.value for r in serial] == [r.value for r in parallel]
+        assert [r.index for r in parallel] == list(range(12))
+
+    def test_parallel_single_item_falls_back_to_serial(self):
+        results = ParallelExecutor(4).map(_square, [5])
+        assert [r.value for r in results] == [25]
+
+    def test_parallel_propagates_worker_errors(self):
+        with pytest.raises(ValueError, match="boom"):
+            ParallelExecutor(2).map(_fail_on_three, [1, 2, 3, 4])
+
+    def test_make_executor(self):
+        assert make_executor(None).label == "serial"
+        assert make_executor(1).label == "serial"
+        assert make_executor(4).label == "parallel[4]"
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(-1)
+        assert ParallelExecutor(0).workers >= 1  # 0 = auto-detect
+
+
+@pytest.mark.slow
+class TestPerfEquivalence:
+    def test_fig05c_quick_parallel_equals_serial(self):
+        """The fanned-out (scheme, benchmark) grid is bit-identical."""
+        settings = PerfSettings(
+            accesses_per_core=1500,
+            warmup_accesses=600,
+            benchmarks=("mcf_m", "zeu_m"),
+        )
+        serial = fig05c(settings=settings)
+        parallel = fig05c(
+            settings=settings,
+            context=RunContext(executor=ParallelExecutor(2)),
+        )
+        assert serial["per_benchmark"] == parallel["per_benchmark"]
+        assert serial["geomean"] == parallel["geomean"]

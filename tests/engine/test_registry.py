@@ -1,0 +1,75 @@
+"""Registry completeness and lookup behaviour."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.engine import registry
+from repro.engine.registry import (
+    Experiment,
+    all_experiments,
+    get_experiment,
+    register,
+    suggest,
+)
+from repro.workloads import benchmark_suite
+
+
+class TestCompleteness:
+    def test_every_driver_registered_exactly_once(self):
+        """Every figXX/tableX in experiments.__all__ has one registry entry."""
+        driver_names = [
+            name
+            for name in experiments.__all__
+            if name.startswith("fig") or name.startswith("table")
+        ]
+        registered = all_experiments()
+        for name in driver_names:
+            assert name in registered, f"{name} missing from registry"
+        # The dict structure itself enforces "at most once"; check the
+        # registry holds nothing beyond the declared drivers either.
+        assert sorted(registered) == sorted(driver_names)
+
+    def test_registered_drivers_are_the_module_functions(self):
+        for name, exp in all_experiments().items():
+            assert exp.driver is getattr(experiments, name)
+            assert exp.title  # docstring first line captured
+
+    def test_simulation_flags(self):
+        registered = all_experiments()
+        simulation = {n for n, e in registered.items() if e.simulation}
+        assert simulation == {
+            "fig05c", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+        }
+
+    def test_declared_workloads_exist(self):
+        suite = set(benchmark_suite())
+        for exp in all_experiments().values():
+            assert set(exp.workloads) <= suite
+
+
+class TestLookup:
+    def test_duplicate_registration_rejected(self):
+        exp = get_experiment("fig04")
+        with pytest.raises(ValueError, match="registered twice"):
+            register(exp)
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            get_experiment("fig16a")
+
+    def test_suggest(self):
+        names = tuple(all_experiments())
+        assert suggest("fig15", names) == "fig15"
+        assert suggest("tble_parameters", names) == "table_parameters"
+        assert suggest("zzzzzz", names) is None
+
+    def test_validate_payload(self):
+        exp = Experiment(name="x", driver=dict, output_keys=("a", "b"))
+        exp.validate_payload({"a": 1, "b": 2, "c": 3})
+        with pytest.raises(RuntimeError, match="missing declared"):
+            exp.validate_payload({"a": 1})
+
+    def test_ensure_loaded_idempotent(self):
+        before = len(all_experiments())
+        registry.ensure_loaded()
+        assert len(all_experiments()) == before

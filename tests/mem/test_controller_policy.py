@@ -4,7 +4,6 @@ import heapq
 import itertools
 
 import numpy as np
-import pytest
 
 from repro.mem.controller import MemoryController
 from repro.mem.dimm import AddressMapping

@@ -16,7 +16,6 @@ from repro.techniques import (
     make_oracle,
     make_rbdl,
     make_sch,
-    make_udrvr_pr,
     standard_schemes,
 )
 from repro.techniques.dummy_bl import DummyBitlinePartitioner

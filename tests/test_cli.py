@@ -1,5 +1,7 @@
 """Command-line interface tests (``python -m repro``)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -15,32 +17,74 @@ class TestCli:
         assert main(["bogus"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_unknown_experiment_suggests(self, capsys):
+        assert main(["fig16a"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "fig16" in err
+
+    def test_unknown_benchmark_suggests(self, capsys):
+        assert main(["fig15", "--quick", "--benchmarks", "mcf"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark" in err
+        assert "did you mean 'mcf_m'" in err
+
     def test_circuit_figure(self, capsys):
-        assert main(["fig11a"]) == 0
+        assert main(["fig11a", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "optimal_bits: 4" in out
+        assert "cache=off" in out
 
     def test_table_parameters(self, capsys):
-        assert main(["table_parameters"]) == 0
+        assert main(["table_parameters", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "512" in out
 
     def test_lifetime_figure_renders_dataclasses(self, capsys):
-        assert main(["fig05b"]) == 0
+        assert main(["fig05b", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "UDRVR+PR" in out
         assert "lifetime_s" in out
 
     def test_json_export(self, capsys, tmp_path):
         path = tmp_path / "fig11a.json"
-        assert main(["fig11a", "--json", str(path)]) == 0
-        import json
+        assert main(["fig11a", "--no-cache", "--json", str(path)]) == 0
+        document = json.loads(path.read_text())
+        assert document["experiment"] == "fig11a"
+        assert document["payload"]["optimal_bits"] == 4
+        assert document["meta"]["cache"] == "off"
+        assert document["meta"]["executor"] == "serial"
 
-        assert json.loads(path.read_text())["optimal_bits"] == 4
+    def test_cache_round_trip(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["fig11a", "--cache-dir", cache_dir]) == 0
+        assert "cache=miss" in capsys.readouterr().out
+        assert main(["fig11a", "--cache-dir", cache_dir]) == 0
+        assert "cache=hit" in capsys.readouterr().out
 
     @pytest.mark.slow
     def test_simulation_figure_quick(self, capsys):
-        code = main(["fig17", "--quick", "--benchmarks", "zeu_m"])
+        code = main(["fig17", "--quick", "--benchmarks", "zeu_m", "--no-cache"])
         assert code == 0
         out = capsys.readouterr().out
         assert "udrvr_pr_over_394" in out
+
+    @pytest.mark.slow
+    def test_simulation_figure_parallel_workers(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code = main(
+            [
+                "fig05c", "--quick", "--benchmarks", "zeu_m",
+                "--workers", "2", "--cache-dir", cache_dir,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executor=parallel[2]" in out and "cache=miss" in out
+        # Same invocation again: experiment-level cache hit.
+        assert main(
+            [
+                "fig05c", "--quick", "--benchmarks", "zeu_m",
+                "--workers", "2", "--cache-dir", cache_dir,
+            ]
+        ) == 0
+        assert "cache=hit" in capsys.readouterr().out

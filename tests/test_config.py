@@ -8,7 +8,7 @@ from repro.config import (
     MemoryParams,
     PumpParams,
     SelectorParams,
-    SystemConfig,
+    config_hash,
     default_config,
 )
 
@@ -99,3 +99,29 @@ class TestDerivation:
     def test_config_hashable(self):
         assert hash(default_config()) == hash(default_config())
         assert default_config() == default_config()
+
+
+class TestConfigHash:
+    def test_equal_configs_hash_equal(self):
+        assert config_hash(default_config()) == config_hash(default_config())
+        derived = default_config().with_array(size=256).with_array(size=512)
+        assert config_hash(derived) == config_hash(default_config())
+
+    def test_one_field_change_changes_hash(self):
+        base = config_hash(default_config())
+        assert config_hash(default_config(size=256)) != base
+        assert config_hash(default_config().with_cell(v_reset=3.1)) != base
+        assert config_hash(default_config().with_cpu(cores=4)) != base
+
+    def test_hash_shape(self):
+        digest = config_hash(default_config())
+        assert len(digest) == 16
+        int(digest, 16)  # hex
+
+    def test_sub_dataclasses_hashable_too(self):
+        assert config_hash(ArrayParams()) == config_hash(ArrayParams())
+        assert config_hash(ArrayParams()) != config_hash(ArrayParams(size=256))
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(TypeError):
+            config_hash({"not": "a dataclass"})

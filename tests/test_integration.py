@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import default_config, get_ir_model
+from repro import get_ir_model
 from repro.cpu.system import SystemSimulator
 from repro.mem.energy import EnergyModel
 from repro.mem.flip_n_write import FlipNWrite

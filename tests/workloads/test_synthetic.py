@@ -1,6 +1,5 @@
 """Synthetic stream generation tests."""
 
-import numpy as np
 import pytest
 
 from repro.workloads.synthetic import StreamParams, SyntheticStream

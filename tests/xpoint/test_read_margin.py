@@ -1,6 +1,5 @@
 """Read-path margin tests (§II-B's read-sneak claim)."""
 
-import numpy as np
 import pytest
 
 from repro.xpoint.read_margin import (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuit.crosspoint import BiasScheme
-from repro.xpoint.vmap import ArrayIRModel, get_ir_model
+from repro.xpoint.vmap import get_ir_model
 
 
 @pytest.fixture(scope="module")
