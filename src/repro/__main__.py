@@ -118,8 +118,19 @@ def main(argv: list[str] | None = None) -> int:
         help="perturb every workload generator seed (0 = paper default)",
     )
     parser.add_argument(
+        "--strict", action="store_true",
+        help="fail fast on the first task error instead of degrading "
+        "to a partial result",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=None, metavar="R",
+        help="inject a composite device fault model at stuck-cell rate R "
+        "(with matching pump droop and process spread) into the run",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="also write the result (payload + run metadata) as JSON",
+        help="also write the result (payload + run metadata + per-task "
+        "error records) as JSON",
     )
     args = parser.parse_args(argv)
 
@@ -152,14 +163,27 @@ def main(argv: list[str] | None = None) -> int:
             benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
         )
 
+    faults = None
+    if args.fault_rate is not None:
+        from .faults import FaultModel
+
+        faults = FaultModel.at_rate(args.fault_rate, seed=args.seed)
     context = RunContext(
         seed=args.seed,
-        executor=make_executor(args.workers),
+        executor=make_executor(args.workers, strict=args.strict),
         cache=NullCache() if args.no_cache else ResultCache(args.cache_dir),
+        faults=faults,
+        strict=args.strict,
     )
     result = run_experiment(args.experiment, context, settings)
     print(_render(args.experiment, result.payload))
     print(format_result_meta(result))
+    for error in result.errors:
+        print(
+            f"task {error.index} failed after {error.attempts} attempt(s): "
+            f"{error.error_type}: {error.message}",
+            file=sys.stderr,
+        )
     if args.json:
         import json
         import pathlib

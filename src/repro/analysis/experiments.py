@@ -253,6 +253,13 @@ class PerformanceRunner:
         for cell, result in zip(
             missing, self.context.executor.map(_run_cell, tasks)
         ):
+            if result.error is not None:
+                # Partial-result mode: the cell stays missing, the
+                # structured failure record rides out on the context
+                # (strict executors raised before we got here).
+                self.context.note_task_error(result.error)
+                continue
+            self.context.note_retries(result.attempts - 1)
             self._cache[cell] = result.value
             disk.store(self._cell_key(*cell), result.value)
 
@@ -260,15 +267,35 @@ class PerformanceRunner:
         key = (scheme_name, benchmark)
         if key not in self._cache:
             self.prefetch((scheme_name,), (benchmark,))
-        return self._cache[key]
+        try:
+            return self._cache[key]
+        except KeyError:
+            raise RuntimeError(
+                f"simulation cell ({scheme_name}, {benchmark}) failed after "
+                "retries; see the run's task error records"
+            ) from None
+
+    def completed(self, scheme_names: tuple[str, ...]) -> tuple[str, ...]:
+        """Benchmarks whose every requested cell survived, input order.
+
+        Figures iterate this after a :meth:`prefetch` so a failed cell
+        drops its benchmark from the payload instead of crashing the
+        whole figure (the failure itself is recorded on the context).
+        """
+        return tuple(
+            benchmark
+            for benchmark in self.benchmark_names
+            if all((name, benchmark) in self._cache for name in scheme_names)
+        )
 
     def speedups(
         self, scheme_names: tuple[str, ...], normalise_to: str
     ) -> dict[str, dict[str, float]]:
         """Per-benchmark IPC ratios against ``normalise_to``."""
-        self.prefetch(tuple(dict.fromkeys((*scheme_names, normalise_to))))
+        names = tuple(dict.fromkeys((*scheme_names, normalise_to)))
+        self.prefetch(names)
         table: dict[str, dict[str, float]] = {}
-        for benchmark in self.benchmark_names:
+        for benchmark in self.completed(names):
             reference = self.run(normalise_to, benchmark).ipc
             table[benchmark] = {
                 name: self.run(name, benchmark).ipc / reference
@@ -651,7 +678,7 @@ def fig16(
     names = ("Hard+Sys", "DRVR", "UDRVR+PR")
     runner.prefetch(names)
     rows: dict[str, dict[str, dict[str, float]]] = {}
-    for benchmark in runner.benchmark_names:
+    for benchmark in runner.completed(names):
         per_scheme = {}
         for name in names:
             result = runner.run(name, benchmark)
@@ -694,7 +721,7 @@ def fig17(
     # The 3.94 V pump also costs energy: an extra boost stage on top of
     # UDRVR's, more leakage, and more charge energy per write.
     energy_ratios = []
-    for benchmark in runner.benchmark_names:
+    for benchmark in runner.completed(("UDRVR-3.94", "UDRVR+PR")):
         totals = {}
         for name in ("UDRVR-3.94", "UDRVR+PR"):
             result = runner.run(name, benchmark)

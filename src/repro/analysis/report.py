@@ -56,11 +56,16 @@ def format_table(
 
 def format_result_meta(result: "ExperimentResult") -> str:
     """One-line provenance footer for an engine experiment result."""
+    trailer = ""
+    if result.retries:
+        trailer += f"  retries={result.retries}"
+    if not result.complete:
+        trailer += f"  status=partial errors={len(result.errors)}"
     return (
         f"[{result.name}: {result.wall_s:.2f}s"
         f"  executor={result.executor}"
         f"  cache={result.cache}"
-        f"  config={result.config_hash}]"
+        f"  config={result.config_hash}{trailer}]"
     )
 
 

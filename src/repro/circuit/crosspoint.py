@@ -21,6 +21,7 @@ top-right cell ``(A-1, A-1)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from ..config import SystemConfig
 from .cell import CellModel
 from .network import Network
 from .selector import OnStackModel, SelectorModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.model import FaultModel
 
 __all__ = ["BiasScheme", "FullArraySolution", "FullArrayModel", "BASELINE_BIAS"]
 
@@ -77,9 +81,18 @@ class FullArraySolution:
 
 
 class FullArrayModel:
-    """Exact cross-point array IR-drop model."""
+    """Exact cross-point array IR-drop model.
 
-    def __init__(self, config: SystemConfig) -> None:
+    ``faults`` injects a :class:`~repro.faults.model.FaultModel` into
+    the netlist itself: drive voltages droop, each line's wire
+    resistors carry its sampled process factor, stuck-at-LRS cells
+    conduct like fully-selected ones everywhere (extra sneak), and
+    stuck-at-HRS cells degrade to an HRS-grade leak path.
+    """
+
+    def __init__(
+        self, config: SystemConfig, faults: "FaultModel | None" = None
+    ) -> None:
         self.config = config
         self.cell_model = CellModel.from_params(config.cell)
         self.selector = SelectorModel.from_params(
@@ -91,6 +104,11 @@ class FullArrayModel:
             i_on=config.array.sneak_boost * config.cell.i_on
             / config.array.selector.kr,
             v_sat=0.6,
+        )
+        self.faults = faults if faults is None or not faults.is_null else None
+        # A selected stuck-at-HRS cell passes only HRS-grade current.
+        self.hrs_stack = OnStackModel(
+            i_on=config.cell.i_on / config.cell.hrs_ratio
         )
 
     def solve_reset(
@@ -123,10 +141,20 @@ class FullArrayModel:
             if not isinstance(v_applied, dict)
             else {c: float(v_applied[c]) for c in cols}
         )
+        if self.faults is not None:
+            drive = {
+                c: float(self.faults.applied_voltage(v)) for c, v in drive.items()
+            }
         v_half = v_rst / 2.0
 
         net = Network()
         r_wire = self.config.array.r_wire
+        if self.faults is not None:
+            sa0, sa1 = self.faults.stuck_masks(a)
+            wl_factors, bl_factors = self.faults.line_factors(a)
+        else:
+            sa0 = sa1 = None
+            wl_factors = bl_factors = np.ones(a)
         # wl[r, c] and bl[r, c] junction node handles.
         wl = np.arange(a * a, dtype=np.intp).reshape(a, a)
         bl = (a * a + np.arange(a * a, dtype=np.intp)).reshape(a, a)
@@ -134,21 +162,35 @@ class FullArrayModel:
 
         for r in range(a):
             for c in range(a - 1):
-                net.add_resistor(int(wl[r, c]), int(wl[r, c + 1]), r_wire)
+                net.add_resistor(
+                    int(wl[r, c]), int(wl[r, c + 1]),
+                    r_wire * float(wl_factors[r]),
+                )
         for c in range(a):
             for r in range(a - 1):
-                net.add_resistor(int(bl[r, c]), int(bl[r + 1, c]), r_wire)
+                net.add_resistor(
+                    int(bl[r, c]), int(bl[r + 1, c]),
+                    r_wire * float(bl_factors[c]),
+                )
 
         # A selector+cell stack at every crossing, BL (top) to WL (bottom).
         # Fully-selected cells have their selector driven on (saturating
         # load); everything else sits in the selector subthreshold region.
+        # Stuck-at-LRS cells conduct like selected ones wherever they sit,
+        # stuck-at-HRS cells pass only HRS-grade current even selected.
         selected_cols = set(cols)
         for r in range(a):
             for c in range(a):
-                if r == row and c in selected_cols:
-                    net.add_device(int(bl[r, c]), int(wl[r, c]), self.on_stack)
+                selected = r == row and c in selected_cols
+                if sa1 is not None and sa1[r, c]:
+                    device = self.on_stack
+                elif sa0 is not None and sa0[r, c]:
+                    device = self.hrs_stack if selected else self.leak
+                elif selected:
+                    device = self.on_stack
                 else:
-                    net.add_device(int(bl[r, c]), int(wl[r, c]), self.leak)
+                    device = self.leak
+                net.add_device(int(bl[r, c]), int(wl[r, c]), device)
 
         for r in range(a):
             if r == row:

@@ -20,7 +20,14 @@ The engine turns "one figure = one function call" into a pipeline:
 from .artifact import ExperimentResult
 from .cache import DEFAULT_CACHE_DIR, NullCache, ResultCache, cache_key
 from .context import RunContext
-from .executor import ParallelExecutor, SerialExecutor, TaskResult, make_executor
+from .executor import (
+    ParallelExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    TaskError,
+    TaskResult,
+    make_executor,
+)
 from .registry import (
     Experiment,
     all_experiments,
@@ -38,8 +45,10 @@ __all__ = [
     "NullCache",
     "ParallelExecutor",
     "ResultCache",
+    "RetryPolicy",
     "RunContext",
     "SerialExecutor",
+    "TaskError",
     "TaskResult",
     "all_experiments",
     "cache_key",

@@ -3,19 +3,31 @@
 :class:`ExperimentResult` is what the engine runner returns and what
 ``python -m repro`` renders: the figure payload dictionary exactly as
 the driver produced it, plus metadata about how it was produced — wall
-time, executor, cache hit/miss, config hash, and seed.
+time, executor, cache hit/miss, config hash, seed, and (in partial-
+result mode) the structured :class:`~repro.engine.executor.TaskError`
+records of any task that failed after retries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import TaskError
 
 __all__ = ["ExperimentResult"]
 
 
 @dataclass
 class ExperimentResult:
-    """One experiment run with provenance metadata."""
+    """One experiment run with provenance metadata.
+
+    ``errors`` holds the final failure records of tasks the run could
+    not complete (empty for a full result); ``retries`` counts the
+    extra attempts transparently absorbed by the executors on the way
+    to whatever did complete.
+    """
 
     name: str
     payload: dict
@@ -24,11 +36,22 @@ class ExperimentResult:
     executor: str = "serial"
     cache: str = "off"  # "hit" | "miss" | "off"
     seed: int = 0
+    errors: tuple["TaskError", ...] = ()
+    retries: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
     def cache_hit(self) -> bool:
         return self.cache == "hit"
+
+    @property
+    def complete(self) -> bool:
+        return not self.errors
+
+    @property
+    def status(self) -> str:
+        """``"ok"`` for a full payload, ``"partial"`` if tasks failed."""
+        return "ok" if self.complete else "partial"
 
     def meta(self) -> dict:
         """Provenance as a plain dictionary (JSON-exportable)."""
@@ -39,6 +62,9 @@ class ExperimentResult:
             "executor": self.executor,
             "cache": self.cache,
             "seed": self.seed,
+            "status": self.status,
+            "retries": self.retries,
+            "errors": [error.to_plain() for error in self.errors],
             **self.extra,
         }
 

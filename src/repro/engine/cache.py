@@ -3,10 +3,16 @@
 Results are keyed by a stable SHA-256 over (cache-schema version,
 package version, and arbitrary JSON-canonicalisable key parts — in
 practice the :func:`repro.config.config_hash`, the experiment name, and
-the workload parameters).  Values are pickled, written atomically, and
-loaded back bit-identical, so a re-run of ``python -m repro fig15`` is
-a cache hit and composed figures share (scheme, benchmark) cells across
-invocations.
+the workload parameters).  Values are pickled into a checksummed
+envelope, written atomically, and loaded back bit-identical, so a
+re-run of ``python -m repro fig15`` is a cache hit and composed figures
+share (scheme, benchmark) cells across invocations.
+
+Integrity: every entry stores the SHA-256 of its payload bytes plus the
+schema and code version that wrote it.  A truncated, bit-flipped or
+version-skewed entry is **quarantined** (moved to
+``.repro_cache/quarantine/``) and reads as a miss, so the caller
+recomputes instead of crashing on (or silently trusting) bad data.
 
 Invalidation: bumping the package version (or :data:`SCHEMA_VERSION`)
 changes every key; ``python -m repro <exp> --no-cache`` bypasses the
@@ -19,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -30,10 +37,15 @@ __all__ = ["MISSING", "NullCache", "ResultCache", "cache_key", "DEFAULT_CACHE_DI
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Bump when the on-disk layout or keying scheme changes.
-SCHEMA_VERSION = 1
+#: v2: checksummed envelopes with quarantine handling.
+SCHEMA_VERSION = 2
+
+QUARANTINE_DIR = "quarantine"
 
 _MISSING_TYPE = type("_MISSING_TYPE", (), {"__repr__": lambda self: "MISSING"})
 MISSING: Any = _MISSING_TYPE()
+
+_log = logging.getLogger(__name__)
 
 
 def _code_version() -> str:
@@ -46,7 +58,14 @@ def _code_version() -> str:
 
 
 def _canonical(part: Any) -> Any:
-    """Render one key part as a JSON-stable value."""
+    """Render one key part as a JSON-stable value.
+
+    Only types with a canonical, process-independent rendering are
+    accepted: falling back to ``repr()`` would embed ``0x7f...`` memory
+    addresses for objects without a stable ``__repr__``, silently making
+    keys nondeterministic across runs (every run a miss, the cache a
+    write-only disk filler).
+    """
     if dataclasses.is_dataclass(part) and not isinstance(part, type):
         return dataclasses.asdict(part)
     if isinstance(part, (list, tuple)):
@@ -55,7 +74,10 @@ def _canonical(part: Any) -> Any:
         return {str(k): _canonical(v) for k, v in sorted(part.items(), key=str)}
     if isinstance(part, (str, int, float, bool)) or part is None:
         return part
-    return repr(part)
+    raise TypeError(
+        f"cache key part {part!r} of type {type(part).__name__} has no "
+        "canonical rendering; use dataclasses, containers or scalars"
+    )
 
 
 def cache_key(*parts: Any) -> str:
@@ -81,37 +103,93 @@ class NullCache:
 
 
 class ResultCache:
-    """Pickle-per-key directory cache with atomic writes."""
+    """Pickle-per-key directory cache with atomic writes and checksums.
+
+    Entries are envelopes ``{schema, version, sha256, data}`` where
+    ``data`` holds the pickled payload bytes.  :meth:`load` verifies the
+    envelope before unpickling the payload; anything that fails —
+    truncation, corruption, checksum mismatch, or an entry written by a
+    different schema/code version — is moved to the ``quarantine/``
+    subdirectory and reported as a miss so the caller recomputes.
+    ``quarantined`` counts how many entries this instance has set aside.
+    """
 
     enabled = True
 
     def __init__(self, root: "str | Path" = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
-    def load(self, key: str) -> Any:
-        """The stored value, or :data:`MISSING` (corrupt entries miss too)."""
-        path = self._path(key)
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Set a bad entry aside (never delete: it may hold evidence)."""
+        target_dir = self.root / QUARANTINE_DIR
         try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
-            return MISSING
-        except (pickle.UnpicklingError, EOFError, OSError):
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
             try:
                 path.unlink()
             except OSError:
-                pass
+                return  # racing deleter already removed it
+        self.quarantined += 1
+        _log.warning("quarantined cache entry %s: %s", path.name, reason)
+
+    def load(self, key: str) -> Any:
+        """The stored value, or :data:`MISSING`.
+
+        Corrupt or version-skewed entries are quarantined and miss.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            return MISSING
+        except Exception:  # noqa: BLE001 - any unpickling failure is corruption
+            self._quarantine(path, "unreadable envelope (truncated or corrupt)")
+            return MISSING
+        if (
+            not isinstance(envelope, dict)
+            or envelope.keys() != {"schema", "version", "sha256", "data"}
+            or not isinstance(envelope.get("data"), bytes)
+        ):
+            self._quarantine(path, "malformed envelope")
+            return MISSING
+        if (
+            envelope["schema"] != SCHEMA_VERSION
+            or envelope["version"] != _code_version()
+        ):
+            self._quarantine(
+                path,
+                f"version skew (schema={envelope['schema']!r}, "
+                f"version={envelope['version']!r})",
+            )
+            return MISSING
+        if hashlib.sha256(envelope["data"]).hexdigest() != envelope["sha256"]:
+            self._quarantine(path, "payload checksum mismatch")
+            return MISSING
+        try:
+            return pickle.loads(envelope["data"])
+        except Exception:  # noqa: BLE001 - checksum passed but payload won't load
+            self._quarantine(path, "payload failed to unpickle")
             return MISSING
 
     def store(self, key: str, value: Any) -> None:
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "version": _code_version(),
+            "sha256": hashlib.sha256(data).hexdigest(),
+            "data": data,
+        }
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, self._path(key))
         except BaseException:
             try:

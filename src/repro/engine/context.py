@@ -18,8 +18,10 @@ from .cache import NullCache, ResultCache
 from .executor import SerialExecutor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.model import FaultModel
     from ..techniques.base import Scheme
     from ..xpoint.vmap import ArrayIRModel, ModelCache
+    from .executor import TaskError
 
 __all__ = ["RunContext"]
 
@@ -27,11 +29,22 @@ _SEED_MIX = 0x9E3779B1  # odd golden-ratio constant: cheap stable mixing
 
 
 class RunContext:
-    """One run's configuration, caches, executor, and seed.
+    """One run's configuration, caches, executor, seed, and fault model.
 
     ``seed`` perturbs every derived generator seed; the default ``0``
     preserves the historical per-driver seeds, so payloads stay
     bit-identical to the pre-engine code paths.
+
+    ``faults`` injects a device-level
+    :class:`~repro.faults.model.FaultModel` into every IR-drop model the
+    context hands out; ``None`` (the default) models a perfect array.
+
+    ``strict`` selects fail-fast semantics: executors propagate the
+    first task exception instead of degrading to a partial result.  In
+    the default (non-strict) mode, drivers report the final failure
+    records and absorbed retries through :meth:`note_task_error` /
+    :meth:`note_retries`; :func:`~repro.engine.runner.run_experiment`
+    drains them into the :class:`~repro.engine.artifact.ExperimentResult`.
     """
 
     def __init__(
@@ -41,6 +54,8 @@ class RunContext:
         executor: "SerialExecutor | None" = None,
         cache: "ResultCache | NullCache | None" = None,
         model_cache: "ModelCache | None" = None,
+        faults: "FaultModel | None" = None,
+        strict: bool = False,
     ) -> None:
         self.config = config or default_config()
         self.seed = seed
@@ -51,13 +66,39 @@ class RunContext:
 
             model_cache = vmap._DEFAULT_CACHE
         self.model_cache = model_cache
+        self.faults = faults if faults is None or not faults.is_null else None
+        self.strict = strict
         self._schemes: dict[tuple[str, tuple[int, ...]], dict[str, Scheme]] = {}
+        self._task_errors: list[TaskError] = []
+        self._retries = 0
+
+    # -- failure bookkeeping ----------------------------------------------------
+
+    def note_task_error(self, error: "TaskError") -> None:
+        """Record one task's final failure (partial-result mode)."""
+        self._task_errors.append(error)
+
+    def note_retries(self, count: int) -> None:
+        """Record retries that executors absorbed on the way to success."""
+        self._retries += count
+
+    def drain_diagnostics(self) -> tuple[tuple["TaskError", ...], int]:
+        """Hand the accumulated (errors, retries) over and reset them."""
+        errors = tuple(self._task_errors)
+        retries = self._retries
+        self._task_errors = []
+        self._retries = 0
+        return errors, retries
 
     # -- models -----------------------------------------------------------------
 
     def ir_model(self, config: SystemConfig | None = None) -> "ArrayIRModel":
-        """The cached IR-drop model for ``config`` (default: this run's)."""
-        return self.model_cache.get(config or self.config)
+        """The cached IR-drop model for ``config`` (default: this run's).
+
+        When the context carries a fault model, the returned instance is
+        built (and cached) with those faults injected.
+        """
+        return self.model_cache.get(config or self.config, faults=self.faults)
 
     def config_hash(self, config: SystemConfig | None = None) -> str:
         return config_hash(config or self.config)

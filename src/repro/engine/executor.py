@@ -7,26 +7,136 @@ timing, so serial and parallel execution are interchangeable
 deterministically.  The performance figures use this to fan the
 independent (scheme, benchmark) simulation cells of Figs. 5c/15/16/17
 out across cores.
+
+Failure semantics (see docs/engine.md "Failure semantics"):
+
+* By default executors never raise for a task failure.  A task that
+  raises is retried per the :class:`RetryPolicy` (exponential backoff
+  with deterministic jitter); a task that still fails is returned as a
+  :class:`TaskResult` whose ``error`` is a structured
+  :class:`TaskError` record, while every surviving task keeps its
+  result — the caller receives a *partial* batch, in input order.
+* ``strict=True`` restores fail-fast: the first task exception
+  propagates unchanged and in-flight results are discarded.
+* :class:`ParallelExecutor` additionally survives worker-process
+  deaths (``BrokenProcessPool``): finished results are preserved and
+  only the failed/orphaned tasks are re-run in a fresh pool.  After
+  ``RetryPolicy.max_pool_deaths`` pool rebuilds the remaining tasks run
+  serially in the parent process.  A per-task ``timeout_s`` bounds hung
+  workers; an expired task is charged a ``TimeoutError`` attempt and
+  the pool (which still holds the hung worker) is recycled.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Sequence
 
-__all__ = ["TaskResult", "SerialExecutor", "ParallelExecutor", "make_executor"]
+__all__ = [
+    "RetryPolicy",
+    "TaskError",
+    "TaskResult",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+]
+
+#: Shared by every ``workers`` validation site (ParallelExecutor and
+#: make_executor must agree; negative counts are always a caller bug).
+_WORKERS_MESSAGE = "workers must be >= 0 (0 = auto), got {count}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How task failures are retried and contained.
+
+    ``retries`` counts re-runs after the first attempt (so a task runs
+    at most ``retries + 1`` times).  Backoff between attempts grows
+    exponentially and is jittered by a deterministic per-batch RNG, so
+    retry schedules never synchronise across tasks yet stay
+    reproducible.  ``timeout_s`` bounds one task's wall time (parallel
+    executors only — a serial executor cannot preempt the task).
+    ``max_pool_deaths`` bounds how many times a broken or hung process
+    pool is rebuilt before the remaining tasks fall back to serial
+    execution in the parent process.
+    """
+
+    retries: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.25  # +- fraction applied to each backoff delay
+    timeout_s: float | None = None
+    max_pool_deaths: int = 2
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 with factor >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_pool_deaths < 0:
+            raise ValueError(
+                f"max_pool_deaths must be >= 0, got {self.max_pool_deaths}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered."""
+        base = self.backoff_s * self.backoff_factor ** (attempt - 1)
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, base)
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """Structured record of one task's final (post-retry) failure."""
+
+    index: int
+    error_type: str
+    message: str
+    attempts: int
+    traceback: str = ""
+
+    def to_plain(self) -> dict:
+        """JSON-exportable record (what ``--json`` embeds)."""
+        return {
+            "index": self.index,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
 
 
 @dataclass(frozen=True)
 class TaskResult:
-    """One task's outcome: input position, value, and wall time."""
+    """One task's outcome: input position, value, wall time, attempts.
+
+    ``error`` is ``None`` for a success; a failed task (after retries)
+    carries a :class:`TaskError` and a ``None`` value.
+    """
 
     index: int
     value: Any
     wall_s: float
+    attempts: int = 1
+    error: TaskError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 def _timed_call(fn: Callable[[Any], Any], index: int, item: Any) -> TaskResult:
@@ -36,10 +146,38 @@ def _timed_call(fn: Callable[[Any], Any], index: int, item: Any) -> TaskResult:
     return TaskResult(index=index, value=value, wall_s=time.perf_counter() - start)
 
 
+def _task_error(index: int, exc: BaseException, attempts: int) -> TaskError:
+    return TaskError(
+        index=index,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        attempts=attempts,
+        traceback="".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__, limit=8)
+        ),
+    )
+
+
+def _failed(index: int, exc: BaseException, attempts: int) -> TaskResult:
+    return TaskResult(
+        index=index,
+        value=None,
+        wall_s=0.0,
+        attempts=attempts,
+        error=_task_error(index, exc, attempts),
+    )
+
+
 class SerialExecutor:
     """Run tasks one after another in the calling process."""
 
     workers = 1
+
+    def __init__(
+        self, policy: RetryPolicy | None = None, strict: bool = False
+    ) -> None:
+        self.policy = policy or RetryPolicy()
+        self.strict = strict
 
     @property
     def label(self) -> str:
@@ -48,7 +186,38 @@ class SerialExecutor:
     def map(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> list[TaskResult]:
-        return [_timed_call(fn, i, item) for i, item in enumerate(items)]
+        if self.strict:
+            return [_timed_call(fn, i, item) for i, item in enumerate(items)]
+        rng = random.Random(len(items))
+        return [
+            _retrying_call(fn, i, item, self.policy, rng)
+            for i, item in enumerate(items)
+        ]
+
+
+def _retrying_call(
+    fn: Callable[[Any], Any],
+    index: int,
+    item: Any,
+    policy: RetryPolicy,
+    rng: random.Random,
+    attempts: int = 0,
+) -> TaskResult:
+    """Run one task in-process with retry/backoff, never raising.
+
+    ``attempts`` counts tries already consumed elsewhere (a parallel
+    executor hands partially-retried tasks to the serial fallback).
+    """
+    while True:
+        attempts += 1
+        try:
+            result = _timed_call(fn, index, item)
+        except Exception as exc:  # noqa: BLE001 - contained as TaskError
+            if attempts < policy.max_attempts:
+                time.sleep(policy.delay(attempts, rng))
+                continue
+            return _failed(index, exc, attempts)
+        return replace(result, attempts=attempts)
 
 
 class ParallelExecutor:
@@ -57,13 +226,22 @@ class ParallelExecutor:
     ``fn`` and every item must be picklable (module-level functions and
     frozen dataclasses are).  Results come back in input order whatever
     the completion order, so a parallel run is a drop-in replacement for
-    a serial one.
+    a serial one.  Worker failures are retried and contained per the
+    :class:`RetryPolicy` unless ``strict`` is set (see the module
+    docstring).
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        policy: RetryPolicy | None = None,
+        strict: bool = False,
+    ) -> None:
         if workers is not None and workers < 0:
-            raise ValueError(f"workers must be >= 0 (0 = auto), got {workers}")
+            raise ValueError(_WORKERS_MESSAGE.format(count=workers))
         self.workers = workers or os.cpu_count() or 1
+        self.policy = policy or RetryPolicy()
+        self.strict = strict
 
     @property
     def label(self) -> str:
@@ -73,7 +251,16 @@ class ParallelExecutor:
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> list[TaskResult]:
         if self.workers == 1 or len(items) <= 1:
-            return SerialExecutor().map(fn, items)
+            return SerialExecutor(self.policy, self.strict).map(fn, items)
+        if self.strict:
+            return self._map_fail_fast(fn, items)
+        return self._map_resilient(fn, items)
+
+    # -- strict (historical) path ------------------------------------------------
+
+    def _map_fail_fast(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[TaskResult]:
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(items))
         ) as pool:
@@ -85,9 +272,169 @@ class ParallelExecutor:
         results.sort(key=lambda result: result.index)
         return results
 
+    # -- resilient path ----------------------------------------------------------
 
-def make_executor(workers: int | None) -> "SerialExecutor | ParallelExecutor":
+    def _map_resilient(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[TaskResult]:
+        policy = self.policy
+        rng = random.Random(len(items))  # deterministic backoff jitter
+        results: dict[int, TaskResult] = {}
+        attempts = [0] * len(items)
+        pending = list(range(len(items)))
+        pool_deaths = 0
+        while pending and pool_deaths < policy.max_pool_deaths:
+            pending, died = self._drain_pool(
+                fn, items, pending, attempts, results, rng
+            )
+            pool_deaths += int(died)
+        # Too many pool deaths (or a zero-death budget): finish serially.
+        for index in pending:
+            results[index] = _retrying_call(
+                fn, index, items[index], policy, rng, attempts=attempts[index]
+            )
+        return [results[index] for index in sorted(results)]
+
+    def _drain_pool(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        pending: list[int],
+        attempts: list[int],
+        results: dict[int, TaskResult],
+        rng: random.Random,
+    ) -> tuple[list[int], bool]:
+        """Run ``pending`` tasks through one pool lifetime.
+
+        Returns the tasks still owed a run plus whether the pool died
+        (``BrokenProcessPool``).  A per-task timeout also ends the pool
+        lifetime — the hung worker cannot be reclaimed any other way —
+        but does not count as a pool death: each recycle consumes the
+        expired task's attempt, so recycles are bounded.
+        """
+        policy = self.policy
+        queue = list(reversed(pending))  # pop() preserves input order
+        in_flight: dict[Any, int] = {}
+        deadlines: dict[Any, float] = {}
+        retry: list[int] = []
+
+        def harvest_or_retry(index: int, exc: BaseException) -> None:
+            if attempts[index] < policy.max_attempts:
+                time.sleep(policy.delay(attempts[index], rng))
+                retry.append(index)
+            else:
+                results[index] = _failed(index, exc, attempts[index])
+
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
+        died = False
+        try:
+            while queue or in_flight:
+                while queue and len(in_flight) < self.workers:
+                    index = queue.pop()
+                    attempts[index] += 1
+                    future = pool.submit(_timed_call, fn, index, items[index])
+                    in_flight[future] = index
+                    if policy.timeout_s is not None:
+                        deadlines[future] = time.monotonic() + policy.timeout_s
+                timeout = None
+                if deadlines:
+                    timeout = max(
+                        0.0, min(deadlines.values()) - time.monotonic()
+                    )
+                done, _ = wait(
+                    tuple(in_flight), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    index = in_flight.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # The pool is gone: every unfinished task is
+                        # orphaned.  Charge them all the attempt (the
+                        # culprit is unknowable) and hand them back.
+                        died = True
+                        harvest_or_retry(index, BrokenProcessPool(
+                            "worker process died unexpectedly"
+                        ))
+                        for other_future, other in tuple(in_flight.items()):
+                            if other_future.done():
+                                try:
+                                    ok = other_future.result()
+                                except Exception as exc:  # noqa: BLE001
+                                    harvest_or_retry(other, exc)
+                                else:
+                                    results[other] = replace(
+                                        ok, attempts=attempts[other]
+                                    )
+                            else:
+                                harvest_or_retry(other, BrokenProcessPool(
+                                    "worker process died unexpectedly"
+                                ))
+                        in_flight.clear()
+                        deadlines.clear()
+                        queue_left = list(reversed(queue))
+                        queue.clear()
+                        return [
+                            i for i in queue_left + retry if i not in results
+                        ], True
+                    except Exception as exc:  # noqa: BLE001 - contained
+                        harvest_or_retry(index, exc)
+                    else:
+                        results[index] = replace(result, attempts=attempts[index])
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, deadline in deadlines.items()
+                    if deadline <= now and not future.done()
+                ]
+                if expired:
+                    # The workers running these tasks are hung; the only
+                    # recovery is recycling the pool.  Tasks merely
+                    # waiting in flight are refunded their attempt.
+                    for future in expired:
+                        index = in_flight.pop(future)
+                        del deadlines[future]
+                        harvest_or_retry(index, TimeoutError(
+                            f"task exceeded timeout_s={policy.timeout_s}"
+                        ))
+                    for future, index in in_flight.items():
+                        if future.done():
+                            try:
+                                ok = future.result()
+                            except Exception as exc:  # noqa: BLE001
+                                harvest_or_retry(index, exc)
+                                continue
+                            results[index] = replace(ok, attempts=attempts[index])
+                        else:
+                            attempts[index] -= 1  # interrupted, not failed
+                            retry.append(index)
+                    in_flight.clear()
+                    deadlines.clear()
+                    queue_left = list(reversed(queue))
+                    queue.clear()
+                    for proc in tuple((pool._processes or {}).values()):
+                        proc.terminate()  # reclaim the hung workers
+                    return [
+                        i for i in queue_left + retry if i not in results
+                    ], False
+                # Retries of tasks that failed cleanly rejoin this pool.
+                queue[:0] = reversed(retry)
+                retry.clear()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [i for i in retry if i not in results], died
+
+
+def make_executor(
+    workers: int | None,
+    policy: RetryPolicy | None = None,
+    strict: bool = False,
+) -> "SerialExecutor | ParallelExecutor":
     """Executor for a ``--workers`` count (None/0/1 -> serial)."""
+    if workers is not None and workers < 0:
+        raise ValueError(_WORKERS_MESSAGE.format(count=workers))
     if workers is None or workers <= 1:
-        return SerialExecutor()
-    return ParallelExecutor(workers)
+        return SerialExecutor(policy, strict)
+    return ParallelExecutor(workers, policy, strict)

@@ -92,6 +92,7 @@ def experiment(
 def ensure_loaded() -> None:
     """Import the driver modules so their decorators have run."""
     from ..analysis import experiments  # noqa: F401  (import is the side effect)
+    from ..faults import sweep  # noqa: F401
 
 
 def all_experiments() -> dict[str, Experiment]:

@@ -45,6 +45,7 @@ def run_experiment(
         name,
         settings if experiment.simulation else None,
         context.seed,
+        context.faults,  # None for a perfect array (the historical key)
     )
     start = time.perf_counter()
     payload = context.cache.load(key)
@@ -61,10 +62,15 @@ def run_experiment(
     kwargs: dict = {"config": context.config, "context": context}
     if experiment.simulation and settings is not None:
         kwargs["settings"] = settings
+    context.drain_diagnostics()  # a fresh run starts with a clean slate
     payload = experiment.driver(**kwargs)
     wall_s = time.perf_counter() - start
     experiment.validate_payload(payload)
-    context.cache.store(key, payload)
+    errors, retries = context.drain_diagnostics()
+    if not errors:
+        # Partial payloads are never cached: a transient worker failure
+        # must not become a persistent hole in the figure.
+        context.cache.store(key, payload)
     return ExperimentResult(
         name=name,
         payload=payload,
@@ -73,4 +79,6 @@ def run_experiment(
         executor=context.executor.label,
         cache="miss" if context.cache.enabled else "off",
         seed=context.seed,
+        errors=errors,
+        retries=retries,
     )

@@ -1,0 +1,19 @@
+"""Device-level fault injection for cross-point arrays.
+
+* :mod:`repro.faults.model` — :class:`FaultModel`, the declarative,
+  picklable description of one array's imperfections (stuck-at cells,
+  charge-pump droop, wire-resistance variation, per-cell LRS spread);
+* :mod:`repro.faults.sweep` — the ``fault-sweep`` engine experiment:
+  how the paper's DRVR / DRVR+PR / UDRVR+PR margins degrade as the
+  fault rate rises.
+
+Inject faults by constructing a
+:class:`~repro.engine.context.RunContext` with ``faults=FaultModel(...)``
+(every ``context.ir_model()`` then carries them) or by passing a model
+directly to :class:`~repro.xpoint.vmap.ArrayIRModel` /
+:class:`~repro.circuit.crosspoint.FullArrayModel`.
+"""
+
+from .model import FaultModel
+
+__all__ = ["FaultModel"]

@@ -21,6 +21,7 @@ DRVR sections).
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from ..circuit.crosspoint import BASELINE_BIAS, BiasScheme
 from ..circuit.equivalent import WordlineDropModel
 from ..circuit.line_model import ReducedArrayModel
 from ..config import SystemConfig, config_hash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.model import FaultModel
 
 __all__ = ["ArrayIRModel", "ModelCache", "get_ir_model"]
 
@@ -40,14 +44,39 @@ class ArrayIRModel:
     """IR-drop maps for one array configuration.
 
     Construct via :func:`get_ir_model` to share cached instances.
+
+    ``faults`` layers a :class:`~repro.faults.model.FaultModel` on top
+    of the calibrated solvers: applied voltages droop, per-line wire
+    factors scale the BL/WL drops, per-cell LRS spread scales the
+    latency map, and stuck cells pin their latency (SA0 -> 0, nothing
+    to RESET; SA1 -> inf, never completes) and zero their endurance.
+    The underlying solvers stay calibrated at nominal — faults are a
+    deterministic analytic layer, so a null model is bit-identical to
+    the fault-free path.
     """
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(
+        self, config: SystemConfig, faults: "FaultModel | None" = None
+    ) -> None:
         self.config = config
         self.reduced = ReducedArrayModel(config)
         self.cell_model: CellModel = self.reduced.cell_model
+        self.faults = faults if faults is None or not faults.is_null else None
+        self._fault_state: tuple | None = None
         self._bl_profiles: dict[tuple[float, BiasScheme], np.ndarray] = {}
         self._wl_model: WordlineDropModel | None = None
+
+    def _fault_arrays(self) -> tuple:
+        """(sa0, sa1, wl_factors, bl_factors, latency_factors), sampled once."""
+        if self._fault_state is None:
+            a = self.config.array.size
+            sa0, sa1 = self.faults.stuck_masks(a)
+            wl_factors, bl_factors = self.faults.line_factors(a)
+            self._fault_state = (
+                sa0, sa1, wl_factors, bl_factors,
+                self.faults.cell_latency_factors(a),
+            )
+        return self._fault_state
 
     # -- calibration ------------------------------------------------------------
 
@@ -109,8 +138,14 @@ class ArrayIRModel:
         """Effective RESET voltage of one cell under an N-bit RESET."""
         if v_applied is None:
             v_applied = self.config.cell.v_reset
+        if self.faults is not None:
+            v_applied = float(self.faults.applied_voltage(v_applied))
         bl = float(self.bl_drop_profile(v_applied, bias)[row])
         wl = float(self.wl_model.drop(col, n_bits, bias))
+        if self.faults is not None:
+            _, _, wl_factors, bl_factors, _ = self._fault_arrays()
+            bl *= float(bl_factors[col])
+            wl *= float(wl_factors[row])
         return v_applied - bl - wl
 
     def reset_latency(
@@ -122,11 +157,19 @@ class ArrayIRModel:
         bias: BiasScheme = BASELINE_BIAS,
     ) -> float:
         """RESET latency (s) of one cell under an N-bit RESET."""
-        return float(
+        latency = float(
             self.cell_model.reset_latency(
                 self.v_eff(row, col, v_applied, n_bits, bias)
             )
         )
+        if self.faults is not None:
+            sa0, sa1, _, _, cell_factors = self._fault_arrays()
+            if sa0[row, col]:
+                return 0.0
+            if sa1[row, col]:
+                return float("inf")
+            latency *= float(cell_factors[row, col])
+        return latency
 
     # -- full-array maps ---------------------------------------------------------------
 
@@ -161,7 +204,8 @@ class ArrayIRModel:
         """Effective RESET voltage of every cell, shape (A, A)."""
         a = self.config.array.size
         v = self.applied_matrix(v_applied)
-        rows = np.arange(a)
+        if self.faults is not None:
+            v = np.asarray(self.faults.applied_voltage(v))
         bl_drop = np.empty_like(v)
         quantised = np.round(v / _VOLTAGE_QUANTUM) * _VOLTAGE_QUANTUM
         for value in np.unique(quantised):
@@ -169,7 +213,17 @@ class ArrayIRModel:
             mask = quantised == value
             bl_drop[mask] = np.repeat(profile[:, None], a, axis=1)[mask]
         wl_drop = np.asarray(self.wl_model.drop(np.arange(a), n_bits, bias))
-        return v - bl_drop - wl_drop[None, :]
+        if self.faults is None:
+            return v - bl_drop - wl_drop[None, :]
+        _, _, wl_factors, bl_factors, _ = self._fault_arrays()
+        # A line's resistance factor scales its whole IR-drop profile:
+        # bit line c contributes its BL drop scaled by bl_factors[c], and
+        # selected word line r its WL drop scaled by wl_factors[r].
+        return (
+            v
+            - bl_drop * bl_factors[None, :]
+            - wl_drop[None, :] * wl_factors[:, None]
+        )
 
     def latency_map(
         self,
@@ -178,9 +232,15 @@ class ArrayIRModel:
         bias: BiasScheme = BASELINE_BIAS,
     ) -> np.ndarray:
         """Per-cell RESET latency (s), shape (A, A) (Fig. 4c family)."""
-        return np.asarray(
+        latency = np.asarray(
             self.cell_model.reset_latency(self.v_eff_map(v_applied, n_bits, bias))
         )
+        if self.faults is not None:
+            sa0, sa1, _, _, cell_factors = self._fault_arrays()
+            latency = latency * cell_factors
+            latency[sa0] = 0.0  # stuck at HRS: nothing to RESET
+            latency[sa1] = np.inf  # stuck at LRS: RESET never completes
+        return latency
 
     def endurance_map(
         self,
@@ -189,9 +249,13 @@ class ArrayIRModel:
         bias: BiasScheme = BASELINE_BIAS,
     ) -> np.ndarray:
         """Per-cell write endurance, shape (A, A) (Fig. 4d family)."""
-        return np.asarray(
+        endurance = np.asarray(
             self.cell_model.endurance(self.latency_map(v_applied, n_bits, bias))
         )
+        if self.faults is not None:
+            sa0, sa1, *_ = self._fault_arrays()
+            endurance[sa0 | sa1] = 0.0  # stuck cells store nothing
+        return endurance
 
     def array_reset_latency(
         self,
@@ -223,12 +287,24 @@ class ModelCache:
         self.maxsize = maxsize
         self._entries: OrderedDict[str, ArrayIRModel] = OrderedDict()
 
-    def get(self, config: SystemConfig) -> ArrayIRModel:
-        """The cached model for ``config``, building it on first use."""
+    def get(
+        self,
+        config: SystemConfig,
+        faults: "FaultModel | None" = None,
+    ) -> ArrayIRModel:
+        """The cached model for ``(config, faults)``, built on first use.
+
+        A faulted model is cached under a compound key so a fault sweep
+        never poisons (or reuses) the perfect-array entry.
+        """
+        if faults is not None and faults.is_null:
+            faults = None
         key = config_hash(config)
+        if faults is not None:
+            key = f"{key}:{config_hash(faults)}"
         model = self._entries.get(key)
         if model is None:
-            model = ArrayIRModel(config)
+            model = ArrayIRModel(config, faults=faults)
             self._entries[key] = model
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)

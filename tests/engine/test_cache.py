@@ -1,10 +1,19 @@
-"""Disk cache round-trips and key stability."""
+"""Disk cache round-trips, key stability and corruption quarantine."""
+
+import pickle
 
 import numpy as np
 import pytest
 
 from repro.engine import RunContext, run_experiment
-from repro.engine.cache import MISSING, NullCache, ResultCache, cache_key
+from repro.engine.cache import (
+    MISSING,
+    QUARANTINE_DIR,
+    SCHEMA_VERSION,
+    NullCache,
+    ResultCache,
+    cache_key,
+)
 
 
 class TestCacheKey:
@@ -20,6 +29,13 @@ class TestCacheKey:
 
         assert cache_key(PerfSettings()) == cache_key(PerfSettings())
         assert cache_key(PerfSettings()) != cache_key(PerfSettings(seed=4))
+
+    def test_uncanonicalisable_part_rejected(self):
+        """Objects without a stable rendering raise instead of repr()."""
+        with pytest.raises(TypeError, match="no canonical rendering"):
+            cache_key(object())
+        with pytest.raises(TypeError, match="no canonical rendering"):
+            cache_key("fine", [1, {"nested": object()}])
 
 
 class TestResultCache:
@@ -45,6 +61,61 @@ class TestResultCache:
         cache.store("k", 1)
         assert cache.load("k") is MISSING
         assert not cache.enabled
+
+
+class TestQuarantine:
+    """Bad entries are set aside (not deleted) and read as misses."""
+
+    def _entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("quarantine")
+        cache.store(key, {"x": 1})
+        return cache, key, tmp_path / f"{key}.pkl"
+
+    def _assert_quarantined(self, cache, key, path):
+        assert cache.load(key) is MISSING
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert (path.parent / QUARANTINE_DIR / path.name).exists()
+
+    def test_truncated_entry(self, tmp_path):
+        cache, key, path = self._entry(tmp_path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        self._assert_quarantined(cache, key, path)
+
+    def test_bit_flip_fails_checksum(self, tmp_path):
+        cache, key, path = self._entry(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-2] ^= 0xFF  # flip a byte inside the pickled payload
+        path.write_bytes(bytes(raw))
+        self._assert_quarantined(cache, key, path)
+
+    def test_schema_skew(self, tmp_path):
+        cache, key, path = self._entry(tmp_path)
+        envelope = pickle.loads(path.read_bytes())
+        envelope["schema"] = SCHEMA_VERSION - 1
+        path.write_bytes(pickle.dumps(envelope))
+        self._assert_quarantined(cache, key, path)
+
+    def test_code_version_skew(self, tmp_path):
+        cache, key, path = self._entry(tmp_path)
+        envelope = pickle.loads(path.read_bytes())
+        envelope["version"] = "0.0.0-other"
+        path.write_bytes(pickle.dumps(envelope))
+        self._assert_quarantined(cache, key, path)
+
+    def test_malformed_envelope(self, tmp_path):
+        cache, key, path = self._entry(tmp_path)
+        path.write_bytes(pickle.dumps({"schema": SCHEMA_VERSION}))
+        self._assert_quarantined(cache, key, path)
+
+    def test_recompute_after_quarantine(self, tmp_path):
+        cache, key, path = self._entry(tmp_path)
+        path.write_bytes(b"garbage")
+        assert cache.load(key) is MISSING
+        cache.store(key, {"x": 2})  # the caller recomputed
+        assert cache.load(key) == {"x": 2}
+        assert cache.quarantined == 1
 
 
 class TestExperimentRoundTrip:

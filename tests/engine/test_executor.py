@@ -1,4 +1,10 @@
-"""Executor determinism and parallel/serial equivalence."""
+"""Executor determinism, parallel/serial equivalence, failure paths."""
+
+import multiprocessing
+import os
+import pathlib
+import random
+import time
 
 import pytest
 
@@ -6,9 +12,13 @@ from repro.analysis.experiments import PerfSettings, fig05c
 from repro.engine import RunContext
 from repro.engine.executor import (
     ParallelExecutor,
+    RetryPolicy,
     SerialExecutor,
     make_executor,
 )
+
+#: Negligible backoff so retry tests do not sleep.
+FAST = RetryPolicy(retries=2, backoff_s=0.001, jitter=0.0)
 
 
 def _square(x):
@@ -19,6 +29,31 @@ def _fail_on_three(x):
     if x == 3:
         raise ValueError("boom")
     return x
+
+
+def _hang_on_three(x):
+    if x == 3:
+        time.sleep(30.0)
+    return x
+
+
+def _exit_on_three(x):
+    """Poison task: kills its *worker* process (the parent survives)."""
+    if x == 3 and multiprocessing.parent_process() is not None:
+        time.sleep(0.3)  # let the innocent in-flight tasks finish first
+        os._exit(1)
+    return x
+
+
+def _flaky(path_str):
+    """Fails on the first two attempts, then succeeds (file-counted)."""
+    path = pathlib.Path(path_str)
+    prior = len(path.read_text().splitlines()) if path.exists() else 0
+    with open(path, "a") as handle:
+        handle.write("attempt\n")
+    if prior < 2:
+        raise RuntimeError(f"flaky failure {prior + 1}")
+    return "ok"
 
 
 class TestExecutors:
@@ -39,9 +74,13 @@ class TestExecutors:
         results = ParallelExecutor(4).map(_square, [5])
         assert [r.value for r in results] == [25]
 
-    def test_parallel_propagates_worker_errors(self):
+    def test_strict_parallel_propagates_worker_errors(self):
         with pytest.raises(ValueError, match="boom"):
-            ParallelExecutor(2).map(_fail_on_three, [1, 2, 3, 4])
+            ParallelExecutor(2, strict=True).map(_fail_on_three, [1, 2, 3, 4])
+
+    def test_strict_serial_propagates_errors(self):
+        with pytest.raises(ValueError, match="boom"):
+            SerialExecutor(strict=True).map(_fail_on_three, [1, 2, 3, 4])
 
     def test_make_executor(self):
         assert make_executor(None).label == "serial"
@@ -49,9 +88,130 @@ class TestExecutors:
         assert make_executor(4).label == "parallel[4]"
 
     def test_invalid_workers(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="workers must be >= 0"):
             ParallelExecutor(-1)
+        with pytest.raises(ValueError, match="workers must be >= 0"):
+            make_executor(-2)
         assert ParallelExecutor(0).workers >= 1  # 0 = auto-detect
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="retries"):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="timeout_s"):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError, match="max_pool_deaths"):
+            RetryPolicy(max_pool_deaths=-1)
+
+    def test_max_attempts(self):
+        assert RetryPolicy(retries=0).max_attempts == 1
+        assert RetryPolicy(retries=3).max_attempts == 4
+
+    def test_delay_grows_and_is_deterministic(self):
+        policy = RetryPolicy(backoff_s=0.1, backoff_factor=2.0, jitter=0.25)
+        first = [policy.delay(a, random.Random(7)) for a in (1, 2, 3)]
+        second = [policy.delay(a, random.Random(7)) for a in (1, 2, 3)]
+        assert first == second  # same rng state -> same jitter
+        exact = RetryPolicy(backoff_s=0.1, backoff_factor=2.0, jitter=0.0)
+        assert [exact.delay(a, random.Random(0)) for a in (1, 2, 3)] == [
+            pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4),
+        ]
+
+
+class TestFailureContainment:
+    """Non-strict executors degrade to partial batches, never raise."""
+
+    def _check_partial(self, results):
+        assert [r.index for r in results] == [0, 1, 2, 3]  # input order
+        assert [r.value for r in results] == [1, 2, None, 4]
+        failed = results[2]
+        assert not failed.ok
+        assert failed.error.error_type == "ValueError"
+        assert failed.error.message == "boom"
+        assert failed.error.attempts == FAST.max_attempts
+        assert all(r.ok and r.attempts == 1 for r in results if r.index != 2)
+
+    def test_serial_contains_failures(self):
+        self._check_partial(
+            SerialExecutor(FAST).map(_fail_on_three, [1, 2, 3, 4])
+        )
+
+    def test_parallel_contains_failures(self):
+        self._check_partial(
+            ParallelExecutor(2, FAST).map(_fail_on_three, [1, 2, 3, 4])
+        )
+
+    def test_task_error_to_plain(self):
+        results = SerialExecutor(FAST).map(_fail_on_three, [3])
+        record = results[0].error.to_plain()
+        assert record == {
+            "index": 0,
+            "error_type": "ValueError",
+            "message": "boom",
+            "attempts": 3,
+        }
+        assert "boom" in results[0].error.traceback
+
+    def test_serial_retry_then_succeed(self, tmp_path):
+        results = SerialExecutor(FAST).map(_flaky, [str(tmp_path / "a")])
+        assert results[0].ok
+        assert results[0].value == "ok"
+        assert results[0].attempts == 3
+
+    def test_parallel_retry_then_succeed(self, tmp_path):
+        items = [str(tmp_path / "a"), str(tmp_path / "b")]
+        results = ParallelExecutor(2, FAST).map(_flaky, items)
+        assert [r.value for r in results] == ["ok", "ok"]
+        assert [r.attempts for r in results] == [3, 3]
+
+
+class TestTimeout:
+    def test_hung_task_times_out_and_survivors_complete(self):
+        policy = RetryPolicy(
+            retries=0, backoff_s=0.0, jitter=0.0, timeout_s=0.75
+        )
+        start = time.monotonic()
+        results = ParallelExecutor(2, policy).map(_hang_on_three, [1, 2, 3, 4])
+        assert time.monotonic() - start < 15.0  # did not wait out the hang
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        assert [r.value for r in results] == [1, 2, None, 4]
+        hung = results[2]
+        assert hung.error.error_type == "TimeoutError"
+        assert "timeout_s=0.75" in hung.error.message
+
+
+class TestPoolDeath:
+    def test_worker_death_preserves_survivors(self):
+        """A dead worker costs one task its attempts, nothing else."""
+        policy = RetryPolicy(
+            retries=1, backoff_s=0.001, jitter=0.0, max_pool_deaths=2
+        )
+        items = [1, 2, 3, 4, 5, 6, 7, 8]
+        results = ParallelExecutor(2, policy).map(_exit_on_three, items)
+        assert [r.index for r in results] == list(range(8))
+        poisoned = results[2]
+        assert poisoned.error is not None
+        assert poisoned.error.error_type == "BrokenProcessPool"
+        assert poisoned.error.attempts == 2  # one per pool death
+        survivors = [r for r in results if r.index != 2]
+        assert [r.value for r in survivors] == [1, 2, 4, 5, 6, 7, 8]
+        assert all(r.ok for r in survivors)
+
+    def test_serial_fallback_after_pool_deaths(self):
+        """Past the death budget the batch still completes, in-process."""
+        policy = RetryPolicy(
+            retries=3, backoff_s=0.001, jitter=0.0, max_pool_deaths=1
+        )
+        items = [1, 2, 3, 4, 5, 6]
+        results = ParallelExecutor(2, policy).map(_exit_on_three, items)
+        # The poison task only kills worker processes; the serial
+        # fallback runs it in the parent, where it succeeds.
+        assert [r.value for r in results] == items
+        assert all(r.ok for r in results)
+        assert results[2].attempts == 2  # pool death, then serial success
 
 
 @pytest.mark.slow

@@ -11,7 +11,11 @@ from repro.engine.registry import (
     register,
     suggest,
 )
+from repro.faults import sweep as faults_sweep
 from repro.workloads import benchmark_suite
+
+#: Registered drivers that live outside repro.analysis.experiments.
+EXTRA_DRIVERS = {"fault-sweep": faults_sweep.fault_sweep}
 
 
 class TestCompleteness:
@@ -27,11 +31,14 @@ class TestCompleteness:
             assert name in registered, f"{name} missing from registry"
         # The dict structure itself enforces "at most once"; check the
         # registry holds nothing beyond the declared drivers either.
-        assert sorted(registered) == sorted(driver_names)
+        assert sorted(registered) == sorted(driver_names + list(EXTRA_DRIVERS))
 
     def test_registered_drivers_are_the_module_functions(self):
         for name, exp in all_experiments().items():
-            assert exp.driver is getattr(experiments, name)
+            expected = EXTRA_DRIVERS.get(name, None) or getattr(
+                experiments, name, None
+            )
+            assert exp.driver is expected
             assert exp.title  # docstring first line captured
 
     def test_simulation_flags(self):

@@ -1,0 +1,67 @@
+"""run_experiment partial-result semantics (see docs/engine.md)."""
+
+import pytest
+
+from repro.engine import RetryPolicy, RunContext, run_experiment
+from repro.engine.cache import ResultCache
+from repro.engine.executor import SerialExecutor
+from repro.engine.registry import _REGISTRY, Experiment, register
+
+FAST = RetryPolicy(retries=1, backoff_s=0.001, jitter=0.0)
+
+
+def _boom_on_two(x):
+    if x == 2:
+        raise RuntimeError("cell failed")
+    return x * 10
+
+
+def _probe_driver(config=None, context=None):
+    """Minimal driver following the executor error-recording protocol."""
+    values = {}
+    for result in context.executor.map(_boom_on_two, [1, 2, 3]):
+        if result.error is not None:
+            context.note_task_error(result.error)
+            continue
+        context.note_retries(result.attempts - 1)
+        values[result.index] = result.value
+    return {"values": values}
+
+
+@pytest.fixture
+def probe():
+    register(Experiment(name="_probe", driver=_probe_driver, title="probe"))
+    yield "_probe"
+    _REGISTRY.pop("_probe", None)
+
+
+class TestPartialResults:
+    def test_partial_result_reported_and_not_cached(self, tmp_path, probe):
+        context = RunContext(
+            cache=ResultCache(tmp_path), executor=SerialExecutor(FAST)
+        )
+        result = run_experiment(probe, context)
+        assert result.cache == "miss"
+        assert result.status == "partial"
+        assert not result.complete
+        assert result.payload["values"] == {0: 10, 2: 30}  # survivors kept
+        (error,) = result.errors
+        assert error.index == 1
+        assert error.error_type == "RuntimeError"
+        assert error.attempts == FAST.max_attempts
+        meta = result.to_plain()["meta"]
+        assert meta["status"] == "partial"
+        assert meta["errors"] == [error.to_plain()]
+        # A partial payload must not poison the cache: re-run retries.
+        assert run_experiment(probe, context).cache == "miss"
+
+    def test_strict_executor_fails_fast(self, probe):
+        context = RunContext(executor=SerialExecutor(strict=True), strict=True)
+        with pytest.raises(RuntimeError, match="cell failed"):
+            run_experiment(probe, context)
+
+    def test_diagnostics_reset_between_runs(self, probe):
+        context = RunContext(executor=SerialExecutor(FAST))
+        first = run_experiment(probe, context)
+        second = run_experiment(probe, context)
+        assert len(first.errors) == len(second.errors) == 1

@@ -61,6 +61,39 @@ class TestCli:
         assert main(["fig11a", "--cache-dir", cache_dir]) == 0
         assert "cache=hit" in capsys.readouterr().out
 
+    def test_corrupt_cache_entry_recomputed(self, capsys, tmp_path):
+        """A hand-corrupted entry is quarantined and silently recomputed."""
+        cache_dir = tmp_path / "cache"
+        assert main(["fig11a", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        entries = list(cache_dir.glob("*.pkl"))
+        assert len(entries) == 1
+        entries[0].write_bytes(entries[0].read_bytes()[:64])  # truncate
+        assert main(["fig11a", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "cache=miss" in out and "optimal_bits: 4" in out
+        assert (cache_dir / "quarantine" / entries[0].name).exists()
+        # The recomputed entry is stored and healthy again.
+        assert main(["fig11a", "--cache-dir", str(cache_dir)]) == 0
+        assert "cache=hit" in capsys.readouterr().out
+
+    def test_strict_flag(self, capsys):
+        assert main(["fig11a", "--no-cache", "--strict"]) == 0
+        assert "optimal_bits: 4" in capsys.readouterr().out
+
+    def test_fault_rate_runs_and_is_seeded(self, capsys, tmp_path):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        base = ["fig04", "--no-cache", "--fault-rate", "0.001"]
+        assert main([*base, "--json", str(first)]) == 0
+        assert main([*base, "--json", str(second)]) == 0
+        capsys.readouterr()
+        first_doc = json.loads(first.read_text())
+        second_doc = json.loads(second.read_text())
+        # Same seed -> bit-identical payload (wall time aside).
+        assert first_doc["payload"] == second_doc["payload"]
+        assert first_doc["meta"]["errors"] == []
+
     @pytest.mark.slow
     def test_simulation_figure_quick(self, capsys):
         code = main(["fig17", "--quick", "--benchmarks", "zeu_m", "--no-cache"])
