@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Performance baseline harness: wall time, peak RSS and obs counters.
+
+Runs a fixed matrix of circuit-level experiments with a profiling
+collector attached and writes a ``BENCH_<date>.json`` document at the
+repository root.  Committing a snapshot gives future optimisation work
+a baseline to diff against: wall time per experiment, the process peak
+RSS, and the full counter/span profile (solver factorisations, cache
+hit rates, ...), so a regression shows up as *which layer* got slower,
+not just a bigger total.
+
+Usage::
+
+    python scripts/bench.py                    # full matrix
+    python scripts/bench.py --quick            # CI smoke subset
+    python scripts/bench.py --out custom.json
+    python scripts/bench.py --validate BENCH_2026-08-06.json
+
+Experiments run with the cache disabled (the default
+:class:`~repro.engine.context.RunContext` uses a ``NullCache``), so
+timings measure real compute, not disk reads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import platform
+import resource
+import sys
+import time
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro import RunContext, __version__, run_experiment  # noqa: E402
+from repro import obs  # noqa: E402
+from repro.xpoint.vmap import ModelCache  # noqa: E402
+
+#: Circuit-level experiments only: deterministic, no trace generation,
+#: and together they exercise every instrumented layer.
+FULL_MATRIX = ("fig01e", "fig04", "fig07b", "fig09", "fig11a", "fig11", "fig13")
+QUICK_MATRIX = ("fig01e", "fig07b", "fig11a")
+
+SCHEMA = 1
+
+
+def _peak_rss_bytes() -> int:
+    """Process peak resident set size so far, in bytes."""
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return ru_maxrss if sys.platform == "darwin" else ru_maxrss * 1024
+
+
+def run_matrix(names: tuple[str, ...]) -> list[dict]:
+    entries = []
+    for name in names:
+        collector = obs.Collector()
+        # A fresh model cache per entry keeps each timing independent of
+        # the matrix order (no warm IR-drop models from earlier figures).
+        context = RunContext(collector=collector, model_cache=ModelCache())
+        start = time.perf_counter()
+        result = run_experiment(name, context)
+        wall_s = time.perf_counter() - start
+        profile = result.extra["profile"]
+        entries.append(
+            {
+                "experiment": name,
+                "wall_s": round(wall_s, 6),
+                "peak_rss_bytes": _peak_rss_bytes(),
+                "counters": profile["counters"],
+                "spans": profile["spans"],
+            }
+        )
+        print(
+            f"{name:10s} {wall_s:8.3f}s  "
+            f"rss={_peak_rss_bytes() / 2**20:7.1f} MiB",
+            flush=True,
+        )
+    return entries
+
+
+def build_document(entries: list[dict], quick: bool) -> dict:
+    return {
+        "schema": SCHEMA,
+        "date": datetime.date.today().isoformat(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "version": __version__,
+        "quick": quick,
+        "entries": entries,
+        "totals": {
+            "experiments": len(entries),
+            "wall_s": round(sum(e["wall_s"] for e in entries), 6),
+            "peak_rss_bytes": _peak_rss_bytes(),
+        },
+    }
+
+
+def validate(document: dict) -> None:
+    """Raise ``ValueError`` if ``document`` violates the bench schema."""
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            raise ValueError(f"bench document invalid: {message}")
+
+    check(isinstance(document, dict), "top level must be an object")
+    expected = {"schema", "date", "host", "version", "quick", "entries", "totals"}
+    check(set(document) == expected, f"top-level keys must be {sorted(expected)}")
+    check(document["schema"] == SCHEMA, f"schema must be {SCHEMA}")
+    datetime.date.fromisoformat(document["date"])  # raises on malformed dates
+    check(isinstance(document["quick"], bool), "quick must be a boolean")
+    entries = document["entries"]
+    check(
+        isinstance(entries, list) and entries, "entries must be a non-empty list"
+    )
+    entry_keys = {"experiment", "wall_s", "peak_rss_bytes", "counters", "spans"}
+    for entry in entries:
+        check(
+            isinstance(entry, dict) and set(entry) == entry_keys,
+            f"entry keys must be {sorted(entry_keys)}",
+        )
+        check(
+            isinstance(entry["wall_s"], (int, float)) and entry["wall_s"] >= 0,
+            "wall_s must be a non-negative number",
+        )
+        check(
+            isinstance(entry["peak_rss_bytes"], int)
+            and entry["peak_rss_bytes"] > 0,
+            "peak_rss_bytes must be a positive integer",
+        )
+        check(
+            isinstance(entry["counters"], dict)
+            and all(
+                isinstance(k, str) and isinstance(v, int)
+                for k, v in entry["counters"].items()
+            ),
+            "counters must map names to integers",
+        )
+        check(
+            isinstance(entry["spans"], dict)
+            and all(
+                isinstance(stat, dict) and stat.get("count", 0) >= 1
+                for stat in entry["spans"].values()
+            ),
+            "spans must map paths to stat records",
+        )
+        check(
+            bool(entry["counters"]) or bool(entry["spans"]),
+            "a profiled entry must record at least one observation",
+        )
+    totals = document["totals"]
+    check(
+        isinstance(totals, dict)
+        and set(totals) == {"experiments", "wall_s", "peak_rss_bytes"},
+        "totals keys must be [experiments, peak_rss_bytes, wall_s]",
+    )
+    check(
+        totals["experiments"] == len(entries),
+        "totals.experiments must match len(entries)",
+    )
+    check(
+        abs(totals["wall_s"] - sum(e["wall_s"] for e in entries)) < 1e-3,
+        "totals.wall_s must be the sum of entry wall times",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the small CI smoke matrix instead of the full one",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output path (default: BENCH_<date>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--validate", metavar="PATH", default=None,
+        help="validate an existing bench document against the schema "
+        "and exit (no experiments are run)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        document = json.loads(pathlib.Path(args.validate).read_text())
+        try:
+            validate(document)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid (schema {document['schema']})")
+        return 0
+
+    matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
+    entries = run_matrix(matrix)
+    document = build_document(entries, quick=args.quick)
+    validate(document)  # never emit a document the validator rejects
+    out = pathlib.Path(
+        args.out
+        if args.out is not None
+        else _REPO_ROOT / f"BENCH_{document['date']}.json"
+    )
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    total = document["totals"]
+    print(
+        f"wrote {out} ({total['experiments']} experiments, "
+        f"{total['wall_s']:.3f}s, "
+        f"peak rss {total['peak_rss_bytes'] / 2**20:.1f} MiB)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -128,9 +128,14 @@ def main(argv: list[str] | None = None) -> int:
         "(with matching pump droop and process spread) into the run",
     )
     parser.add_argument(
-        "--json", metavar="PATH", default=None,
+        "--profile", action="store_true",
+        help="collect tracing spans and counters for the run and print a "
+        "profile report (also embedded under meta.profile with --json)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", nargs="?", const="-", default=None,
         help="also write the result (payload + run metadata + per-task "
-        "error records) as JSON",
+        "error records) as JSON; omit PATH (or pass '-') for stdout",
     )
     args = parser.parse_args(argv)
 
@@ -168,16 +173,27 @@ def main(argv: list[str] | None = None) -> int:
         from .faults import FaultModel
 
         faults = FaultModel.at_rate(args.fault_rate, seed=args.seed)
+    collector = None
+    if args.profile:
+        from . import obs
+
+        collector = obs.Collector()
     context = RunContext(
         seed=args.seed,
         executor=make_executor(args.workers, strict=args.strict),
         cache=NullCache() if args.no_cache else ResultCache(args.cache_dir),
         faults=faults,
         strict=args.strict,
+        collector=collector,
     )
     result = run_experiment(args.experiment, context, settings)
-    print(_render(args.experiment, result.payload))
-    print(format_result_meta(result))
+    if args.json != "-":  # JSON-on-stdout mode keeps stdout machine-readable
+        print(_render(args.experiment, result.payload))
+        print(format_result_meta(result))
+        if args.profile:
+            from .obs import format_profile
+
+            print(format_profile(result.extra.get("profile", {})))
     for error in result.errors:
         print(
             f"task {error.index} failed after {error.attempts} attempt(s): "
@@ -186,12 +202,17 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.json:
         import json
-        import pathlib
 
-        path = pathlib.Path(args.json)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(result.to_plain(), indent=2) + "\n")
-        print(f"wrote {args.json}")
+        document = json.dumps(result.to_plain(), indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(document)
+        else:
+            import pathlib
+
+            path = pathlib.Path(args.json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(document)
+            print(f"wrote {args.json}")
     return 0
 
 

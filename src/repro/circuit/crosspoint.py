@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import obs
 from ..config import SystemConfig
 from .cell import CellModel
 from .network import Network
@@ -217,7 +218,8 @@ class FullArrayModel:
             else:
                 net.fix_voltage(int(bl[0, c]), v_half)
 
-        solution = net.solve()
+        with obs.span("solve.exact", array=a):
+            solution = net.solve()
         wl_plane = solution.voltages[: a * a].reshape(a, a)
         bl_plane = solution.voltages[a * a :].reshape(a, a)
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..config import SystemConfig
 from .cell import CellModel
 from .crosspoint import BASELINE_BIAS, BiasScheme
@@ -148,7 +149,8 @@ class ReducedArrayModel:
             # selector is fully on, so it presents a saturating load.
             net.add_device(nodes[row], wl_nodes[c], self.on_stack)
 
-        solution = net.solve()
+        with obs.span("solve.reduced", array=a):
+            solution = net.solve()
 
         wl_profile = np.array([solution.voltage(n) for n in wl_nodes])
         bl_profiles = {

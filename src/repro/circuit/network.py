@@ -25,6 +25,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from .. import obs
 from .selector import SelectorModel
 
 __all__ = ["GROUND", "Network", "Solution", "ConvergenceError"]
@@ -169,6 +170,7 @@ class Network:
         v_step_limit:
             Maximum per-node voltage change applied in one Newton step.
         """
+        obs.count("solver.solves")
         state = _SolverState(self)
         voltages = state.initial_voltages(initial)
         residual = state.residual(voltages)
@@ -177,6 +179,7 @@ class Network:
             if norm <= tol:
                 return Solution(voltages, iteration - 1, norm)
             jacobian = state.jacobian(voltages)
+            obs.count("solver.factorisations")
             delta = spla.spsolve(jacobian, -residual)
             max_step = float(np.max(np.abs(delta))) if delta.size else 0.0
             if max_step > v_step_limit:

@@ -32,6 +32,8 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
+from .. import obs
+
 __all__ = ["MISSING", "NullCache", "ResultCache", "cache_key", "DEFAULT_CACHE_DIR"]
 
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -124,17 +126,33 @@ class ResultCache:
         return self.root / f"{key}.pkl"
 
     def _quarantine(self, path: Path, reason: str) -> None:
-        """Set a bad entry aside (never delete: it may hold evidence)."""
+        """Set a bad entry aside (never delete: it may hold evidence).
+
+        The quarantine filename carries the pid and a per-instance
+        sequence number: two processes quarantining the same key — or
+        one instance re-quarantining a recomputed-then-re-corrupted
+        entry — must each keep their own evidence instead of silently
+        overwriting a file that shares the entry's name.
+        """
         target_dir = self.root / QUARANTINE_DIR
+        self.quarantined += 1
+        target = target_dir / (
+            f"{path.stem}.{os.getpid()}.{self.quarantined}{path.suffix}"
+        )
         try:
             target_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, target_dir / path.name)
-        except OSError:
+            os.replace(path, target)
+        except FileNotFoundError:
+            # A racing process already quarantined (or deleted) it.
+            self.quarantined -= 1
+            return
+        except (FileExistsError, OSError):
             try:
                 path.unlink()
             except OSError:
+                self.quarantined -= 1
                 return  # racing deleter already removed it
-        self.quarantined += 1
+        obs.count("disk_cache.quarantine")
         _log.warning("quarantined cache entry %s: %s", path.name, reason)
 
     def load(self, key: str) -> Any:
@@ -147,6 +165,7 @@ class ResultCache:
             with open(path, "rb") as handle:
                 envelope = pickle.load(handle)
         except FileNotFoundError:
+            obs.count("disk_cache.miss")
             return MISSING
         except Exception:  # noqa: BLE001 - any unpickling failure is corruption
             self._quarantine(path, "unreadable envelope (truncated or corrupt)")
@@ -172,12 +191,15 @@ class ResultCache:
             self._quarantine(path, "payload checksum mismatch")
             return MISSING
         try:
-            return pickle.loads(envelope["data"])
+            value = pickle.loads(envelope["data"])
         except Exception:  # noqa: BLE001 - checksum passed but payload won't load
             self._quarantine(path, "payload failed to unpickle")
             return MISSING
+        obs.count("disk_cache.hit")
+        return value
 
     def store(self, key: str, value: Any) -> None:
+        obs.count("disk_cache.store")
         data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         envelope = {
             "schema": SCHEMA_VERSION,

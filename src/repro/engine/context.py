@@ -19,6 +19,7 @@ from .executor import SerialExecutor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.model import FaultModel
+    from ..obs.collector import Collector
     from ..techniques.base import Scheme
     from ..xpoint.vmap import ArrayIRModel, ModelCache
     from .executor import TaskError
@@ -45,6 +46,14 @@ class RunContext:
     records and absorbed retries through :meth:`note_task_error` /
     :meth:`note_retries`; :func:`~repro.engine.runner.run_experiment`
     drains them into the :class:`~repro.engine.artifact.ExperimentResult`.
+
+    ``collector`` opts the run into observability: the runner activates
+    it for the duration of the experiment, every instrumented layer
+    (caches, executors, solvers) records into it, and the resulting
+    profile snapshot is attached to the
+    :class:`~repro.engine.artifact.ExperimentResult` under
+    ``extra["profile"]``.  ``None`` (the default) keeps all
+    instrumentation in its zero-overhead no-op mode.
     """
 
     def __init__(
@@ -56,6 +65,7 @@ class RunContext:
         model_cache: "ModelCache | None" = None,
         faults: "FaultModel | None" = None,
         strict: bool = False,
+        collector: "Collector | None" = None,
     ) -> None:
         self.config = config or default_config()
         self.seed = seed
@@ -68,6 +78,7 @@ class RunContext:
         self.model_cache = model_cache
         self.faults = faults if faults is None or not faults.is_null else None
         self.strict = strict
+        self.collector = collector
         self._schemes: dict[tuple[str, tuple[int, ...]], dict[str, Scheme]] = {}
         self._task_errors: list[TaskError] = []
         self._retries = 0

@@ -36,7 +36,12 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from .. import obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.collector import Snapshot
 
 __all__ = [
     "RetryPolicy",
@@ -125,7 +130,10 @@ class TaskResult:
     """One task's outcome: input position, value, wall time, attempts.
 
     ``error`` is ``None`` for a success; a failed task (after retries)
-    carries a :class:`TaskError` and a ``None`` value.
+    carries a :class:`TaskError` and a ``None`` value.  ``obs`` holds
+    the worker-side observability snapshot when the task ran in a pool
+    worker while the parent was collecting (the executor merges it back
+    into the parent's collector).
     """
 
     index: int
@@ -133,17 +141,38 @@ class TaskResult:
     wall_s: float
     attempts: int = 1
     error: TaskError | None = None
+    obs: "Snapshot | None" = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
 
-def _timed_call(fn: Callable[[Any], Any], index: int, item: Any) -> TaskResult:
-    """Run one task under timing (top-level so it pickles to workers)."""
+def _timed_call(
+    fn: Callable[[Any], Any], index: int, item: Any, collect: bool = False
+) -> TaskResult:
+    """Run one task under timing (top-level so it pickles to workers).
+
+    ``collect`` is set by parallel executors when the parent process is
+    collecting observability data: the task runs under a fresh local
+    collector (worker processes do not share the parent's) whose
+    snapshot rides back on the :class:`TaskResult`.
+    """
     start = time.perf_counter()
-    value = fn(item)
-    return TaskResult(index=index, value=value, wall_s=time.perf_counter() - start)
+    if not collect:
+        value = fn(item)
+        return TaskResult(
+            index=index, value=value, wall_s=time.perf_counter() - start
+        )
+    local = obs.Collector()
+    with obs.collecting(local):
+        value = fn(item)
+    return TaskResult(
+        index=index,
+        value=value,
+        wall_s=time.perf_counter() - start,
+        obs=local.snapshot(),
+    )
 
 
 def _task_error(index: int, exc: BaseException, attempts: int) -> TaskError:
@@ -168,6 +197,27 @@ def _failed(index: int, exc: BaseException, attempts: int) -> TaskResult:
     )
 
 
+def _note_batch(results: "list[TaskResult]") -> list[TaskResult]:
+    """Record batch-level executor counters and absorb worker snapshots.
+
+    Worker-side observability snapshots are merged into the parent's
+    active collector exactly once, here, whatever path produced the
+    results (pool drain, pool rebuild, or serial fallback).
+    """
+    collector = obs.active_collector()
+    if collector is None:
+        return results
+    collector.count("executor.tasks", len(results))
+    for result in results:
+        if result.attempts > 1:
+            collector.count("executor.retries", result.attempts - 1)
+        if not result.ok:
+            collector.count("executor.failures")
+        if result.obs is not None:
+            collector.merge(result.obs)
+    return results
+
+
 class SerialExecutor:
     """Run tasks one after another in the calling process."""
 
@@ -186,13 +236,32 @@ class SerialExecutor:
     def map(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> list[TaskResult]:
-        if self.strict:
-            return [_timed_call(fn, i, item) for i, item in enumerate(items)]
-        rng = random.Random(len(items))
-        return [
-            _retrying_call(fn, i, item, self.policy, rng)
-            for i, item in enumerate(items)
-        ]
+        with obs.span("executor.map", executor=self.label):
+            if self.strict:
+                results = [
+                    _timed_call(fn, i, item) for i, item in enumerate(items)
+                ]
+            else:
+                rng = random.Random(len(items))
+                results = [
+                    _retrying_call(fn, i, item, self.policy, rng)
+                    for i, item in enumerate(items)
+                ]
+        return _note_batch(results)
+
+
+def _next_wait_timeout(deadlines: "dict[Any, float]") -> float | None:
+    """Seconds until the nearest task deadline, or ``None`` without one.
+
+    ``deadlines`` is legitimately empty while tasks are in flight — a
+    timeout-less policy, or timed tasks that have all expired while
+    retries of clean failures are still queued — and ``min()`` over an
+    empty mapping would raise ``ValueError`` mid-drain, so the empty
+    case must degrade to an unbounded wait instead of being computed.
+    """
+    if not deadlines:
+        return None
+    return max(0.0, min(deadlines.values()) - time.monotonic())
 
 
 def _retrying_call(
@@ -252,20 +321,24 @@ class ParallelExecutor:
     ) -> list[TaskResult]:
         if self.workers == 1 or len(items) <= 1:
             return SerialExecutor(self.policy, self.strict).map(fn, items)
-        if self.strict:
-            return self._map_fail_fast(fn, items)
-        return self._map_resilient(fn, items)
+        with obs.span("executor.map", executor=self.label):
+            if self.strict:
+                results = self._map_fail_fast(fn, items)
+            else:
+                results = self._map_resilient(fn, items)
+        return _note_batch(results)
 
     # -- strict (historical) path ------------------------------------------------
 
     def _map_fail_fast(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> list[TaskResult]:
+        collect = obs.active_collector() is not None
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(items))
         ) as pool:
             futures = [
-                pool.submit(_timed_call, fn, i, item)
+                pool.submit(_timed_call, fn, i, item, collect)
                 for i, item in enumerate(items)
             ]
             results = [future.result() for future in futures]
@@ -282,13 +355,20 @@ class ParallelExecutor:
         results: dict[int, TaskResult] = {}
         attempts = [0] * len(items)
         pending = list(range(len(items)))
-        pool_deaths = 0
+        pool_deaths = pool_lifetimes = 0
         while pending and pool_deaths < policy.max_pool_deaths:
+            pool_lifetimes += 1
             pending, died = self._drain_pool(
                 fn, items, pending, attempts, results, rng
             )
-            pool_deaths += int(died)
+            if died:
+                pool_deaths += 1
+                obs.count("executor.pool_deaths")
+        if pool_lifetimes > 1:
+            obs.count("executor.pool_restarts", pool_lifetimes - 1)
         # Too many pool deaths (or a zero-death budget): finish serially.
+        if pending:
+            obs.count("executor.serial_fallback_tasks", len(pending))
         for index in pending:
             results[index] = _retrying_call(
                 fn, index, items[index], policy, rng, attempts=attempts[index]
@@ -325,6 +405,7 @@ class ParallelExecutor:
             else:
                 results[index] = _failed(index, exc, attempts[index])
 
+        collect = obs.active_collector() is not None
         pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
         died = False
         try:
@@ -332,17 +413,14 @@ class ParallelExecutor:
                 while queue and len(in_flight) < self.workers:
                     index = queue.pop()
                     attempts[index] += 1
-                    future = pool.submit(_timed_call, fn, index, items[index])
+                    future = pool.submit(
+                        _timed_call, fn, index, items[index], collect
+                    )
                     in_flight[future] = index
                     if policy.timeout_s is not None:
                         deadlines[future] = time.monotonic() + policy.timeout_s
-                timeout = None
-                if deadlines:
-                    timeout = max(
-                        0.0, min(deadlines.values()) - time.monotonic()
-                    )
                 done, _ = wait(
-                    tuple(in_flight), timeout=timeout,
+                    tuple(in_flight), timeout=_next_wait_timeout(deadlines),
                     return_when=FIRST_COMPLETED,
                 )
                 for future in done:
@@ -393,6 +471,7 @@ class ParallelExecutor:
                     # The workers running these tasks are hung; the only
                     # recovery is recycling the pool.  Tasks merely
                     # waiting in flight are refunded their attempt.
+                    obs.count("executor.timeouts", len(expired))
                     for future in expired:
                         index = in_flight.pop(future)
                         del deadlines[future]

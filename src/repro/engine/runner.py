@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING
 
+from .. import obs
 from ..config import config_hash
 from .artifact import ExperimentResult
 from .cache import MISSING, cache_key
@@ -21,6 +22,7 @@ from .registry import get_experiment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.experiments import PerfSettings
+    from .registry import Experiment
 
 __all__ = ["run_experiment"]
 
@@ -35,9 +37,31 @@ def run_experiment(
     ``settings`` applies only to simulation-backed experiments; ``None``
     leaves the driver's own default sizing in force (figures 18-20 keep
     their representative benchmark subsets).
+
+    When the context carries an :class:`~repro.obs.collector.Collector`
+    it is activated for the duration of the run — every instrumented
+    layer (model/disk caches, executors, circuit solvers) records into
+    it, including pool workers, whose snapshots the executors merge
+    back — and the aggregate profile is attached to the result as
+    ``extra["profile"]``.
     """
     experiment = get_experiment(name)
     context = context or RunContext()
+    collector = context.collector
+    if collector is None:
+        return _run(experiment, name, context, settings)
+    with obs.collecting(collector):
+        result = _run(experiment, name, context, settings)
+    result.extra["profile"] = collector.snapshot().to_plain()
+    return result
+
+
+def _run(
+    experiment: "Experiment",
+    name: str,
+    context: RunContext,
+    settings: "PerfSettings | None",
+) -> ExperimentResult:
     cfg_hash = config_hash(context.config)
     key = cache_key(
         "experiment",
@@ -63,7 +87,8 @@ def run_experiment(
     if experiment.simulation and settings is not None:
         kwargs["settings"] = settings
     context.drain_diagnostics()  # a fresh run starts with a clean slate
-    payload = experiment.driver(**kwargs)
+    with obs.span("experiment", name=name):
+        payload = experiment.driver(**kwargs)
     wall_s = time.perf_counter() - start
     experiment.validate_payload(payload)
     errors, retries = context.drain_diagnostics()

@@ -1,0 +1,46 @@
+"""Lightweight observability: tracing spans, counters, profile reports.
+
+Instrumented call sites use the module-level helpers::
+
+    from .. import obs
+
+    obs.count("model_cache.hit")
+    with obs.span("solve.reduced", array=512):
+        ...
+
+These are no-ops (a single ``None`` check) until a
+:class:`~repro.obs.collector.Collector` is activated — typically by
+:func:`repro.engine.runner.run_experiment` when the
+:class:`~repro.engine.context.RunContext` carries one (the CLI's
+``--profile``).  Worker processes aggregate their own observations into
+picklable :class:`~repro.obs.collector.Snapshot` records that executors
+merge back into the parent's collector.
+"""
+
+from .collector import (
+    Collector,
+    Snapshot,
+    SpanStat,
+    activate,
+    active_collector,
+    collecting,
+    count,
+    deactivate,
+    gauge,
+    span,
+)
+from .report import format_profile
+
+__all__ = [
+    "Collector",
+    "Snapshot",
+    "SpanStat",
+    "activate",
+    "active_collector",
+    "collecting",
+    "count",
+    "deactivate",
+    "format_profile",
+    "gauge",
+    "span",
+]

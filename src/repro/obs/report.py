@@ -1,0 +1,80 @@
+"""Human-readable rendering of a profile snapshot.
+
+``python -m repro <exp> --profile`` prints :func:`format_profile`;
+the same plain-dict form (:meth:`Snapshot.to_plain`) is what ``--json``
+and ``scripts/bench.py`` embed, so the table and the machine-readable
+block always agree.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .collector import Snapshot
+
+__all__ = ["format_profile"]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def format_profile(snapshot: "Snapshot | dict") -> str:
+    """Render counters, gauges and span timings as aligned tables.
+
+    Accepts a live :class:`~repro.obs.collector.Snapshot` or its
+    :meth:`~repro.obs.collector.Snapshot.to_plain` dictionary form.
+    """
+    # Imported lazily: analysis pulls in the experiment drivers, which
+    # import the engine, which imports obs — a module-level import here
+    # would close that cycle during interpreter start-up.
+    from ..analysis.report import format_table
+
+    plain = snapshot if isinstance(snapshot, dict) else snapshot.to_plain()
+    sections = ["== profile =="]
+    spans = plain.get("spans") or {}
+    if spans:
+        rows = [
+            [
+                name,
+                stat["count"],
+                _fmt_seconds(stat["total_s"]),
+                _fmt_seconds(stat["mean_s"]),
+                _fmt_seconds(stat["min_s"]),
+                _fmt_seconds(stat["max_s"]),
+            ]
+            for name, stat in sorted(spans.items())
+        ]
+        sections.append(
+            format_table(
+                ("span", "count", "total", "mean", "min", "max"),
+                rows,
+                title="spans",
+            )
+        )
+    counters = plain.get("counters") or {}
+    if counters:
+        sections.append(
+            format_table(
+                ("counter", "value"),
+                [[name, value] for name, value in sorted(counters.items())],
+                title="counters",
+            )
+        )
+    gauges = plain.get("gauges") or {}
+    if gauges:
+        sections.append(
+            format_table(
+                ("gauge", "value"),
+                [[name, value] for name, value in sorted(gauges.items())],
+                title="gauges",
+            )
+        )
+    if len(sections) == 1:
+        sections.append("(no observations recorded)")
+    return "\n\n".join(sections)

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import obs
 from ..circuit.cell import CellModel
 from ..circuit.crosspoint import BASELINE_BIAS, BiasScheme
 from ..circuit.equivalent import WordlineDropModel
@@ -63,7 +64,11 @@ class ArrayIRModel:
         self.cell_model: CellModel = self.reduced.cell_model
         self.faults = faults if faults is None or not faults.is_null else None
         self._fault_state: tuple | None = None
-        self._bl_profiles: dict[tuple[float, BiasScheme], np.ndarray] = {}
+        # Keyed by the *integer* quantum count (round(v / quantum)), not
+        # the quantised float: float keys carry representation noise
+        # (0.060000000000000005 vs 0.06), so near-identical voltages
+        # could land in distinct buckets and bloat the profile cache.
+        self._bl_profiles: dict[tuple[int, BiasScheme], np.ndarray] = {}
         self._wl_model: WordlineDropModel | None = None
 
     def _fault_arrays(self) -> tuple:
@@ -86,14 +91,17 @@ class ArrayIRModel:
         if self._wl_model is None:
             a = self.config.array.size
             v_rst = self.config.cell.v_reset
-            far_corner = self.reduced.solve_reset(a - 1, (a - 1,))
-            bl_drop_far = v_rst - self.reduced.solve_reset(a - 1, (0,)).v_eff[
-                (a - 1, 0)
-            ]
-            wl_drop_far = v_rst - far_corner.v_eff[(a - 1, a - 1)] - bl_drop_far
-            self._wl_model = WordlineDropModel.calibrate(
-                self.config, max(0.0, wl_drop_far)
-            )
+            with obs.span("calibrate.wl_model", array=a):
+                far_corner = self.reduced.solve_reset(a - 1, (a - 1,))
+                bl_drop_far = v_rst - self.reduced.solve_reset(
+                    a - 1, (0,)
+                ).v_eff[(a - 1, 0)]
+                wl_drop_far = (
+                    v_rst - far_corner.v_eff[(a - 1, a - 1)] - bl_drop_far
+                )
+                self._wl_model = WordlineDropModel.calibrate(
+                    self.config, max(0.0, wl_drop_far)
+                )
         return self._wl_model
 
     # -- bit-line profiles --------------------------------------------------------
@@ -110,17 +118,22 @@ class ArrayIRModel:
         a = self.config.array.size
         if v_applied is None:
             v_applied = self.config.cell.v_reset
-        key = (round(v_applied / _VOLTAGE_QUANTUM) * _VOLTAGE_QUANTUM, bias)
+        quantum = int(round(v_applied / _VOLTAGE_QUANTUM))
+        key = (quantum, bias)
         cached = self._bl_profiles.get(key)
         if cached is not None:
+            obs.count("profile_cache.hit")
             return cached
+        obs.count("profile_cache.miss")
+        v_solve = quantum * _VOLTAGE_QUANTUM
         grid = np.unique(
             np.round(np.linspace(0, a - 1, min(_PROFILE_SAMPLES, a))).astype(int)
         )
-        drops = []
-        for row in grid:
-            solution = self.reduced.solve_reset(int(row), (0,), key[0], bias)
-            drops.append(v_applied - solution.v_eff[(int(row), 0)])
+        with obs.span("solve.profile", array=a):
+            drops = []
+            for row in grid:
+                solution = self.reduced.solve_reset(int(row), (0,), v_solve, bias)
+                drops.append(v_applied - solution.v_eff[(int(row), 0)])
         profile = np.interp(np.arange(a), grid, np.asarray(drops))
         self._bl_profiles[key] = profile
         return profile
@@ -207,10 +220,14 @@ class ArrayIRModel:
         if self.faults is not None:
             v = np.asarray(self.faults.applied_voltage(v))
         bl_drop = np.empty_like(v)
-        quantised = np.round(v / _VOLTAGE_QUANTUM) * _VOLTAGE_QUANTUM
-        for value in np.unique(quantised):
-            profile = self.bl_drop_profile(float(value), bias)
-            mask = quantised == value
+        # Group cells by integer quantum count, mirroring the profile
+        # cache's keys: comparing integers is exact, whereas comparing
+        # re-quantised floats can split one bucket on representation
+        # noise (see ``_bl_profiles``).
+        quanta = np.rint(v / _VOLTAGE_QUANTUM)
+        for q in np.unique(quanta):
+            profile = self.bl_drop_profile(float(q) * _VOLTAGE_QUANTUM, bias)
+            mask = quanta == q
             bl_drop[mask] = np.repeat(profile[:, None], a, axis=1)[mask]
         wl_drop = np.asarray(self.wl_model.drop(np.arange(a), n_bits, bias))
         if self.faults is None:
@@ -287,30 +304,62 @@ class ModelCache:
         self.maxsize = maxsize
         self._entries: OrderedDict[str, ArrayIRModel] = OrderedDict()
 
+    @staticmethod
+    def _key(config: SystemConfig, faults: "FaultModel | None") -> str:
+        """Compound cache key: a fault sweep never poisons (or reuses)
+        the perfect-array entry."""
+        key = config_hash(config)
+        if faults is not None:
+            key = f"{key}:{config_hash(faults)}"
+        return key
+
+    def _insert(self, key: str, model: ArrayIRModel) -> None:
+        """Insert (or refresh) ``key`` and evict the coldest overflow.
+
+        A key already resident is refreshed in place — recency bumped,
+        value replaced — and never triggers an eviction: the cache does
+        not grow, so evicting on a re-insert at capacity would throw
+        away a warm entry for nothing.
+        """
+        if key in self._entries:
+            self._entries[key] = model
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = model
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            obs.count("model_cache.evict")
+
     def get(
         self,
         config: SystemConfig,
         faults: "FaultModel | None" = None,
     ) -> ArrayIRModel:
-        """The cached model for ``(config, faults)``, built on first use.
-
-        A faulted model is cached under a compound key so a fault sweep
-        never poisons (or reuses) the perfect-array entry.
-        """
+        """The cached model for ``(config, faults)``, built on first use."""
         if faults is not None and faults.is_null:
             faults = None
-        key = config_hash(config)
-        if faults is not None:
-            key = f"{key}:{config_hash(faults)}"
+        key = self._key(config, faults)
         model = self._entries.get(key)
-        if model is None:
-            model = ArrayIRModel(config, faults=faults)
-            self._entries[key] = model
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-        else:
+        if model is not None:
+            obs.count("model_cache.hit")
             self._entries.move_to_end(key)
+            return model
+        obs.count("model_cache.miss")
+        model = ArrayIRModel(config, faults=faults)
+        self._insert(key, model)
         return model
+
+    def put(
+        self,
+        config: SystemConfig,
+        model: ArrayIRModel,
+        faults: "FaultModel | None" = None,
+    ) -> None:
+        """Seed the cache with a pre-built model (e.g. deserialised from
+        a worker); follows the same residency/recency rules as misses."""
+        if faults is not None and faults.is_null:
+            faults = None
+        self._insert(self._key(config, faults), model)
 
     def clear(self) -> None:
         self._entries.clear()

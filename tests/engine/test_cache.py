@@ -72,11 +72,17 @@ class TestQuarantine:
         cache.store(key, {"x": 1})
         return cache, key, tmp_path / f"{key}.pkl"
 
+    def _quarantine_files(self, path):
+        """Quarantined copies of ``path`` (names carry a pid/seq suffix)."""
+        return sorted(
+            (path.parent / QUARANTINE_DIR).glob(f"{path.stem}.*{path.suffix}")
+        )
+
     def _assert_quarantined(self, cache, key, path):
         assert cache.load(key) is MISSING
         assert cache.quarantined == 1
         assert not path.exists()
-        assert (path.parent / QUARANTINE_DIR / path.name).exists()
+        assert len(self._quarantine_files(path)) == 1
 
     def test_truncated_entry(self, tmp_path):
         cache, key, path = self._entry(tmp_path)
@@ -116,6 +122,28 @@ class TestQuarantine:
         cache.store(key, {"x": 2})  # the caller recomputed
         assert cache.load(key) == {"x": 2}
         assert cache.quarantined == 1
+
+    def test_requarantine_keeps_both_evidence_files(self, tmp_path):
+        """A recomputed-then-re-corrupted entry must not overwrite the
+        first quarantined copy: each corruption event is evidence."""
+        cache, key, path = self._entry(tmp_path)
+        path.write_bytes(b"garbage one")
+        assert cache.load(key) is MISSING
+        cache.store(key, {"x": 2})  # the caller recomputed
+        path.write_bytes(b"garbage two")
+        assert cache.load(key) is MISSING
+        assert cache.quarantined == 2
+        files = self._quarantine_files(path)
+        assert len(files) == 2
+        assert {f.read_bytes() for f in files} == {b"garbage one", b"garbage two"}
+
+    def test_quarantine_race_with_deleter(self, tmp_path):
+        """A racing process deleting the entry mid-quarantine is a miss,
+        not a crash, and does not inflate the quarantine count."""
+        cache = ResultCache(tmp_path)
+        cache._quarantine(tmp_path / "never-existed.pkl", "race")
+        assert cache.quarantined == 0
+        assert self._quarantine_files(tmp_path / "never-existed.pkl") == []
 
 
 class TestExperimentRoundTrip:

@@ -26,6 +26,42 @@ class TestModelCache:
         assert context.ir_model() is context.ir_model()
         assert context.ir_model().config is tiny_config
 
+    def test_hit_refreshes_recency(self, tiny_config):
+        """A re-used entry must become the hottest, not stay coldest."""
+        cache = ModelCache(maxsize=2)
+        tiny = cache.get(tiny_config)
+        cache.get(default_config(size=32))
+        cache.get(tiny_config)  # now the 32-model is the coldest
+        cache.get(default_config(size=64))  # evicts the 32-model
+        assert cache.get(tiny_config) is tiny
+        assert len(cache) == 2
+
+    def test_put_resident_key_at_capacity_never_evicts(self, tiny_config):
+        """Regression: re-inserting a resident key at capacity must
+        refresh it in place, not evict an unrelated warm entry."""
+        from repro.xpoint.vmap import ArrayIRModel
+
+        cache = ModelCache(maxsize=2)
+        cache.get(tiny_config)
+        other = default_config(size=32)
+        other_model = cache.get(other)
+        replacement = ArrayIRModel(tiny_config)
+        cache.put(tiny_config, replacement)
+        assert len(cache) == 2
+        assert cache.get(other) is other_model  # still resident
+        assert cache.get(tiny_config) is replacement  # value refreshed
+
+    def test_put_new_key_at_capacity_evicts_coldest(self, tiny_config):
+        from repro.xpoint.vmap import ArrayIRModel
+
+        cache = ModelCache(maxsize=2)
+        tiny = cache.get(tiny_config)
+        cache.get(default_config(size=32))
+        third = default_config(size=64)
+        cache.put(third, ArrayIRModel(third))
+        assert len(cache) == 2
+        assert cache.get(tiny_config) is not tiny  # coldest was evicted
+
 
 class TestSchemes:
     def test_cached_per_config_hash(self, small_config):
@@ -65,3 +101,24 @@ class TestSeeds:
         x = context.rng(3, "stream").random(4)
         y = context.rng(3, "stream").random(4)
         assert np.array_equal(x, y)
+
+    def test_string_and_int_tokens_mix_differently(self):
+        """``"12"`` and ``12`` are distinct stream identities."""
+        context = RunContext(seed=5)
+        assert context.seed_for(17, "12") != context.seed_for(17, 12)
+
+    def test_token_boundaries_are_significant(self):
+        """``("ab", "c")`` and ``("a", "bc")`` must not collide."""
+        context = RunContext(seed=5)
+        assert context.seed_for(17, "ab", "c") != context.seed_for(17, "a", "bc")
+
+    def test_token_order_is_significant(self):
+        context = RunContext(seed=5)
+        assert context.seed_for(17, "x", "y") != context.seed_for(17, "y", "x")
+
+    def test_tokens_perturb_even_with_default_seed(self):
+        context = RunContext()  # seed=0
+        assert context.seed_for(17, "stream") != 17
+        assert context.seed_for(17, "stream") == RunContext().seed_for(
+            17, "stream"
+        )

@@ -45,6 +45,14 @@ def _exit_on_three(x):
     return x
 
 
+def _counted_square(x):
+    """Task that records its own observation (worker- or parent-side)."""
+    from repro import obs
+
+    obs.count("task.calls")
+    return x * x
+
+
 def _flaky(path_str):
     """Fails on the first two attempts, then succeeds (file-counted)."""
     path = pathlib.Path(path_str)
@@ -212,6 +220,80 @@ class TestPoolDeath:
         assert [r.value for r in results] == items
         assert all(r.ok for r in results)
         assert results[2].attempts == 2  # pool death, then serial success
+
+
+class TestDrainDeadlines:
+    """Regression: the drain loop must tolerate an empty deadline map.
+
+    When no task carries a timeout (``timeout_s=None``) the deadline map
+    stays empty for the whole drain; taking ``min()`` over it would
+    raise ``ValueError`` mid-batch.
+    """
+
+    def test_empty_deadlines_wait_forever(self):
+        from repro.engine.executor import _next_wait_timeout
+
+        assert _next_wait_timeout({}) is None
+
+    def test_expired_deadline_clamps_to_zero(self):
+        from repro.engine.executor import _next_wait_timeout
+
+        assert _next_wait_timeout({0: time.monotonic() - 5.0}) == 0.0
+
+    def test_future_deadline_is_positive(self):
+        from repro.engine.executor import _next_wait_timeout
+
+        value = _next_wait_timeout({0: time.monotonic() + 60.0})
+        assert value is not None
+        assert 0.0 < value <= 60.0
+
+    def test_retry_drain_without_any_timeout(self, tmp_path):
+        """A timeout-less policy with retries drains to completion."""
+        items = [str(tmp_path / "a"), str(tmp_path / "b"), str(tmp_path / "c")]
+        results = ParallelExecutor(2, FAST).map(_flaky, items)
+        assert [r.value for r in results] == ["ok"] * 3
+
+
+class TestObservability:
+    def test_serial_map_counts_tasks_and_span(self):
+        from repro import obs
+
+        collector = obs.Collector()
+        with obs.collecting(collector):
+            SerialExecutor().map(_counted_square, [1, 2, 3])
+        snap = collector.snapshot()
+        assert snap.counters["executor.tasks"] == 3
+        assert snap.counters["task.calls"] == 3
+        assert "executor.map[executor=serial]" in snap.spans
+
+    def test_parallel_map_merges_worker_snapshots(self):
+        """Observations recorded inside pool workers reach the parent."""
+        from repro import obs
+
+        collector = obs.Collector()
+        with obs.collecting(collector):
+            ParallelExecutor(2).map(_counted_square, [1, 2, 3, 4])
+        snap = collector.snapshot()
+        assert snap.counters["task.calls"] == 4
+        assert snap.counters["executor.tasks"] == 4
+
+    def test_retries_and_failures_counted(self):
+        from repro import obs
+
+        collector = obs.Collector()
+        with obs.collecting(collector):
+            SerialExecutor(FAST).map(_fail_on_three, [1, 2, 3, 4])
+        snap = collector.snapshot()
+        assert snap.counters["executor.failures"] == 1
+        assert snap.counters["executor.retries"] == FAST.max_attempts - 1
+
+    def test_no_collector_records_nothing(self):
+        from repro import obs
+
+        results = ParallelExecutor(2).map(_counted_square, [1, 2, 3, 4])
+        assert [r.value for r in results] == [1, 4, 9, 16]
+        assert obs.active_collector() is None
+        assert all(r.obs is None for r in results)
 
 
 @pytest.mark.slow

@@ -65,3 +65,46 @@ class TestPartialResults:
         first = run_experiment(probe, context)
         second = run_experiment(probe, context)
         assert len(first.errors) == len(second.errors) == 1
+
+
+class TestProfileCollection:
+    def test_no_collector_leaves_result_clean(self):
+        from repro import obs
+
+        result = run_experiment("fig01e", RunContext())
+        assert "profile" not in result.extra
+        assert obs.active_collector() is None
+
+    def test_collector_attaches_profile_to_result(self):
+        """A profiled run lands counters and spans in extra['profile']
+        (and through it in meta / the --json document)."""
+        from repro import obs
+        from repro.xpoint.vmap import ModelCache
+
+        collector = obs.Collector()
+        # A private model cache: the shared default may already hold a
+        # warm fig04 model from earlier tests, which would skip solves.
+        result = run_experiment(
+            "fig04", RunContext(collector=collector, model_cache=ModelCache())
+        )
+        profile = result.extra["profile"]
+        assert set(profile) == {"counters", "gauges", "spans"}
+        names = list(profile["counters"]) + list(profile["spans"])
+        assert len(names) >= 8  # a real run exercises many layers
+        assert any(name.startswith("experiment[name=fig04]") for name in names)
+        assert profile["counters"]["solver.solves"] >= 1
+        assert result.to_plain()["meta"]["profile"] == profile
+        assert obs.active_collector() is None  # deactivated after the run
+
+    def test_profile_survives_cache_hit(self, tmp_path):
+        """Even a fully cached run reports its (cache-dominated) profile."""
+        from repro import obs
+
+        cache = ResultCache(tmp_path)
+        run_experiment("fig01e", RunContext(cache=cache))
+        collector = obs.Collector()
+        result = run_experiment(
+            "fig01e", RunContext(cache=cache, collector=collector)
+        )
+        assert result.cache == "hit"
+        assert result.extra["profile"]["counters"]["disk_cache.hit"] == 1

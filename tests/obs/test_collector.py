@@ -1,0 +1,168 @@
+"""Collector semantics: no-op default, spans, merging, picklability."""
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.obs.collector import _NOOP_SPAN, Collector, Snapshot, SpanStat
+
+
+@pytest.fixture(autouse=True)
+def _deactivated():
+    """Every test starts and ends with collection disabled."""
+    obs.deactivate()
+    yield
+    obs.deactivate()
+
+
+class TestDisabledMode:
+    def test_no_active_collector_by_default(self):
+        assert obs.active_collector() is None
+
+    def test_count_and_gauge_are_noops(self):
+        obs.count("x")
+        obs.gauge("y", 1.0)  # must not raise, must not allocate state
+        assert obs.active_collector() is None
+
+    def test_span_returns_shared_noop(self):
+        first = obs.span("a")
+        second = obs.span("b", array=512)
+        assert first is _NOOP_SPAN
+        assert second is _NOOP_SPAN  # zero allocation when disabled
+        with first:
+            pass
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        with obs.collecting() as collector:
+            obs.count("hits")
+            obs.count("hits", 4)
+            obs.count("misses")
+        assert collector.counters == {"hits": 5, "misses": 1}
+
+    def test_gauges_last_write_wins(self):
+        with obs.collecting() as collector:
+            obs.gauge("rss", 10.0)
+            obs.gauge("rss", 12.5)
+        assert collector.gauges == {"rss": 12.5}
+
+    def test_span_records_timing(self):
+        with obs.collecting() as collector:
+            with obs.span("work"):
+                pass
+        stat = collector.spans["work"]
+        assert stat.count == 1
+        assert 0.0 <= stat.min_s <= stat.max_s
+        assert stat.total_s >= 0.0
+
+    def test_span_tags_fold_into_name(self):
+        with obs.collecting() as collector:
+            with obs.span("solve.reduced", array=512, bias="baseline"):
+                pass
+        assert list(collector.spans) == ["solve.reduced[array=512,bias=baseline]"]
+
+    def test_spans_nest_hierarchically(self):
+        with obs.collecting() as collector:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        assert set(collector.spans) == {"outer", "outer/inner"}
+
+    def test_reset_clears_everything(self):
+        with obs.collecting() as collector:
+            obs.count("a")
+            obs.gauge("b", 1.0)
+            with obs.span("c"):
+                pass
+            collector.reset()
+            assert not collector.snapshot()
+
+
+class TestActivation:
+    def test_collecting_restores_previous(self):
+        outer = obs.activate()
+        with obs.collecting() as inner:
+            assert obs.active_collector() is inner
+        assert obs.active_collector() is outer
+
+    def test_collecting_accepts_existing_collector(self):
+        mine = Collector()
+        with obs.collecting(mine):
+            obs.count("x")
+        assert mine.counters == {"x": 1}
+        assert obs.active_collector() is None
+
+    def test_collecting_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs.collecting():
+                raise RuntimeError("boom")
+        assert obs.active_collector() is None
+
+
+class TestSnapshotAndMerge:
+    def _populated(self):
+        collector = Collector()
+        collector.count("hits", 2)
+        collector.gauge("rss", 5.0)
+        collector.record_span("solve", 0.5)
+        collector.record_span("solve", 1.5)
+        return collector
+
+    def test_snapshot_is_detached(self):
+        collector = self._populated()
+        snapshot = collector.snapshot()
+        collector.count("hits", 10)
+        collector.record_span("solve", 9.0)
+        assert snapshot.counters == {"hits": 2}
+        assert snapshot.spans["solve"].count == 2
+
+    def test_merge_combines_counters_and_spans(self):
+        parent = self._populated()
+        worker = Collector()
+        worker.count("hits", 3)
+        worker.count("worker.only", 1)
+        worker.record_span("solve", 0.25)
+        worker.record_span("io", 2.0)
+        parent.merge(worker.snapshot())
+        assert parent.counters == {"hits": 5, "worker.only": 1}
+        solve = parent.spans["solve"]
+        assert solve.count == 3
+        assert solve.min_s == 0.25
+        assert solve.max_s == 1.5
+        assert solve.total_s == pytest.approx(2.25)
+        assert parent.spans["io"].count == 1
+
+    def test_snapshot_round_trips_through_pickle(self):
+        snapshot = self._populated().snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.counters == snapshot.counters
+        assert clone.gauges == snapshot.gauges
+        assert clone.spans["solve"].total_s == snapshot.spans["solve"].total_s
+
+    def test_to_plain_is_sorted_and_json_friendly(self):
+        import json
+
+        plain = self._populated().snapshot().to_plain()
+        assert list(plain) == ["counters", "gauges", "spans"]
+        assert plain["spans"]["solve"]["mean_s"] == pytest.approx(1.0)
+        json.dumps(plain)  # must be JSON-serialisable as-is
+
+    def test_empty_snapshot_is_falsy(self):
+        assert not Snapshot()
+        assert self._populated().snapshot()
+
+
+class TestSpanStat:
+    def test_add_tracks_extremes(self):
+        stat = SpanStat()
+        stat.add(2.0)
+        stat.add(0.5)
+        assert stat.count == 2
+        assert stat.min_s == 0.5
+        assert stat.max_s == 2.0
+        assert stat.mean_s == pytest.approx(1.25)
+
+    def test_empty_stat_renders_zero_min(self):
+        assert SpanStat().to_plain()["min_s"] == 0.0

@@ -1,0 +1,45 @@
+"""Profile report rendering."""
+
+from repro import obs
+from repro.obs import format_profile
+from repro.obs.collector import Collector
+
+
+def _snapshot():
+    collector = Collector()
+    collector.count("model_cache.hit", 7)
+    collector.count("disk_cache.miss", 2)
+    collector.gauge("peak_rss_kb", 120000.0)
+    collector.record_span("solve.reduced[array=64]", 0.012)
+    collector.record_span("solve.reduced[array=64]", 0.018)
+    return collector.snapshot()
+
+
+class TestFormatProfile:
+    def test_all_sections_render(self):
+        text = format_profile(_snapshot())
+        assert "== profile ==" in text
+        assert "spans" in text
+        assert "solve.reduced[array=64]" in text
+        assert "model_cache.hit" in text
+        assert "peak_rss_kb" in text
+
+    def test_accepts_plain_dict_form(self):
+        assert format_profile(_snapshot().to_plain()) == format_profile(
+            _snapshot()
+        )
+
+    def test_empty_snapshot_renders_placeholder(self):
+        text = format_profile(Collector().snapshot())
+        assert "(no observations recorded)" in text
+
+    def test_time_units_scale(self):
+        collector = Collector()
+        collector.record_span("fast", 5e-6)
+        collector.record_span("slow", 2.5)
+        text = format_profile(collector.snapshot())
+        assert "us" in text
+        assert "2.500s" in text
+
+    def test_module_export(self):
+        assert obs.format_profile is format_profile

@@ -54,6 +54,25 @@ class TestCli:
         assert document["meta"]["cache"] == "off"
         assert document["meta"]["executor"] == "serial"
 
+    def test_profile_flag_prints_report(self, capsys):
+        assert main(["fig11a", "--no-cache", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "== profile ==" in out
+        assert "experiment[name=fig11a]" in out
+
+    def test_profile_json_to_stdout_is_pure_json(self, capsys):
+        """``--profile --json`` emits one parseable document on stdout."""
+        assert main(["fig11a", "--no-cache", "--profile", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        profile = document["meta"]["profile"]
+        assert profile["spans"]  # the experiment span at minimum
+        assert "experiment[name=fig11a]" in profile["spans"]
+
+    def test_json_without_profile_has_no_profile_block(self, capsys):
+        assert main(["fig11a", "--no-cache", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "profile" not in document["meta"]
+
     def test_cache_round_trip(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "cache")
         assert main(["fig11a", "--cache-dir", cache_dir]) == 0
@@ -72,7 +91,10 @@ class TestCli:
         assert main(["fig11a", "--cache-dir", str(cache_dir)]) == 0
         out = capsys.readouterr().out
         assert "cache=miss" in out and "optimal_bits: 4" in out
-        assert (cache_dir / "quarantine" / entries[0].name).exists()
+        # Quarantine filenames carry a pid/seq suffix; match the stem.
+        assert list(
+            (cache_dir / "quarantine").glob(f"{entries[0].stem}.*.pkl")
+        )
         # The recomputed entry is stored and healthy again.
         assert main(["fig11a", "--cache-dir", str(cache_dir)]) == 0
         assert "cache=hit" in capsys.readouterr().out

@@ -84,6 +84,28 @@ class TestCaching:
         second = model.bl_drop_profile(3.004)
         assert first is second
 
+    def test_profile_cache_keyed_by_integer_quanta(self, model):
+        """Regression: representation noise must not split a bucket.
+
+        ``1.1 + 2.2`` is ``3.3000000000000003`` — keying on the
+        quantised *float* could file it apart from the literal ``3.3``;
+        the integer quantum count (165) is exact.
+        """
+        noisy = 1.1 + 2.2
+        assert noisy != 3.3  # the premise: two representations
+        assert model.bl_drop_profile(3.3) is model.bl_drop_profile(noisy)
+        assert all(isinstance(q, int) for q, _ in model._bl_profiles)
+
+    def test_v_eff_map_groups_noisy_voltages_into_one_solve(self, small_config):
+        from repro.xpoint.vmap import ArrayIRModel
+
+        model = ArrayIRModel(small_config)
+        a = small_config.array.size
+        v = np.full((a, a), 1.1 + 2.2)
+        v[::2, :] = 3.3  # same quantum, different representation
+        model.v_eff_map(v)
+        assert len(model._bl_profiles) == 1
+
     def test_get_ir_model_memoised(self, small_config):
         assert get_ir_model(small_config) is get_ir_model(small_config)
 
