@@ -37,14 +37,21 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro import RunContext, __version__, run_experiment  # noqa: E402
 from repro import obs  # noqa: E402
-from repro.xpoint.vmap import ModelCache  # noqa: E402
+from repro.circuit.solvers import available_solvers  # noqa: E402
+from repro.config import default_config  # noqa: E402
+from repro.xpoint.vmap import ArrayIRModel, ModelCache  # noqa: E402
 
 #: Circuit-level experiments only: deterministic, no trace generation,
 #: and together they exercise every instrumented layer.
 FULL_MATRIX = ("fig01e", "fig04", "fig07b", "fig09", "fig11a", "fig11", "fig13")
 QUICK_MATRIX = ("fig01e", "fig07b", "fig11a")
 
-SCHEMA = 1
+#: Drive levels of the solver-matrix workload: a 512x512 RESET-latency
+#: sweep (per-level BL profile grid + WL calibration), the hot path the
+#: accelerated backends exist for.
+SOLVER_SWEEP_VOLTAGES = (3.0, 3.1, 3.2, 3.3)
+
+SCHEMA = 2
 
 
 def _peak_rss_bytes() -> int:
@@ -82,7 +89,50 @@ def run_matrix(names: tuple[str, ...]) -> list[dict]:
     return entries
 
 
-def build_document(entries: list[dict], quick: bool) -> dict:
+def run_solver_matrix() -> list[dict]:
+    """Time the 512x512 RESET-latency sweep under every solver backend.
+
+    Each backend gets a fresh :class:`ArrayIRModel` (no warm profile
+    caches) and runs the same sweep; ``speedup_vs_reference`` is the
+    reference wall time divided by the backend's.
+    """
+    config = default_config()
+    entries = []
+    reference_wall = None
+    for solver in available_solvers():
+        collector = obs.Collector()
+        model = ArrayIRModel(config, solver=solver)
+        with obs.collecting(collector):
+            start = time.perf_counter()
+            for v in SOLVER_SWEEP_VOLTAGES:
+                model.latency_map(v)
+            wall_s = time.perf_counter() - start
+        if solver == "reference":
+            reference_wall = wall_s
+        entries.append(
+            {
+                "solver": solver,
+                "wall_s": round(wall_s, 6),
+                "counters": collector.snapshot().to_plain()["counters"],
+            }
+        )
+        print(f"solver:{solver:13s} {wall_s:8.3f}s", flush=True)
+    for entry in entries:
+        entry["speedup_vs_reference"] = round(
+            reference_wall / entry["wall_s"], 3
+        )
+        if entry["solver"] != "reference":
+            print(
+                f"solver:{entry['solver']:13s} "
+                f"{entry['speedup_vs_reference']:5.2f}x vs reference",
+                flush=True,
+            )
+    return entries
+
+
+def build_document(
+    entries: list[dict], solver_entries: list[dict], quick: bool
+) -> dict:
     return {
         "schema": SCHEMA,
         "date": datetime.date.today().isoformat(),
@@ -93,6 +143,13 @@ def build_document(entries: list[dict], quick: bool) -> dict:
         "version": __version__,
         "quick": quick,
         "entries": entries,
+        "solver_matrix": {
+            "workload": (
+                "512x512 RESET-latency sweep: latency_map over "
+                f"{len(SOLVER_SWEEP_VOLTAGES)} drive levels"
+            ),
+            "entries": solver_entries,
+        },
         "totals": {
             "experiments": len(entries),
             "wall_s": round(sum(e["wall_s"] for e in entries), 6),
@@ -109,7 +166,10 @@ def validate(document: dict) -> None:
             raise ValueError(f"bench document invalid: {message}")
 
     check(isinstance(document, dict), "top level must be an object")
-    expected = {"schema", "date", "host", "version", "quick", "entries", "totals"}
+    expected = {
+        "schema", "date", "host", "version", "quick", "entries",
+        "solver_matrix", "totals",
+    }
     check(set(document) == expected, f"top-level keys must be {sorted(expected)}")
     check(document["schema"] == SCHEMA, f"schema must be {SCHEMA}")
     datetime.date.fromisoformat(document["date"])  # raises on malformed dates
@@ -153,6 +213,45 @@ def validate(document: dict) -> None:
             bool(entry["counters"]) or bool(entry["spans"]),
             "a profiled entry must record at least one observation",
         )
+    solver_matrix = document["solver_matrix"]
+    check(
+        isinstance(solver_matrix, dict)
+        and set(solver_matrix) == {"workload", "entries"},
+        "solver_matrix keys must be [entries, workload]",
+    )
+    solver_entries = solver_matrix["entries"]
+    check(
+        isinstance(solver_entries, list) and solver_entries,
+        "solver_matrix.entries must be a non-empty list",
+    )
+    solver_entry_keys = {"solver", "wall_s", "counters", "speedup_vs_reference"}
+    seen_solvers = set()
+    for entry in solver_entries:
+        check(
+            isinstance(entry, dict) and set(entry) == solver_entry_keys,
+            f"solver entry keys must be {sorted(solver_entry_keys)}",
+        )
+        check(
+            isinstance(entry["wall_s"], (int, float)) and entry["wall_s"] > 0,
+            "solver wall_s must be a positive number",
+        )
+        check(
+            isinstance(entry["speedup_vs_reference"], (int, float))
+            and entry["speedup_vs_reference"] > 0,
+            "speedup_vs_reference must be a positive number",
+        )
+        seen_solvers.add(entry["solver"])
+    check(
+        seen_solvers == set(available_solvers()),
+        "solver_matrix must cover every registered backend",
+    )
+    reference = next(
+        e for e in solver_entries if e["solver"] == "reference"
+    )
+    check(
+        abs(reference["speedup_vs_reference"] - 1.0) < 0.01,
+        "the reference backend's speedup must be ~1.0",
+    )
     totals = document["totals"]
     check(
         isinstance(totals, dict)
@@ -201,7 +300,8 @@ def main(argv: list[str] | None = None) -> int:
 
     matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
     entries = run_matrix(matrix)
-    document = build_document(entries, quick=args.quick)
+    solver_entries = run_solver_matrix()
+    document = build_document(entries, solver_entries, quick=args.quick)
     validate(document)  # never emit a document the validator rejects
     out = pathlib.Path(
         args.out

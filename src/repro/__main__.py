@@ -127,6 +127,15 @@ def main(argv: list[str] | None = None) -> int:
         help="inject a composite device fault model at stuck-cell rate R "
         "(with matching pump droop and process spread) into the run",
     )
+    from .circuit.solvers import DEFAULT_SOLVER, available_solvers
+
+    parser.add_argument(
+        "--solver", choices=available_solvers(), default=DEFAULT_SOLVER,
+        metavar="BACKEND",
+        help="IR-drop solver backend: " + ", ".join(available_solvers())
+        + f" (default: {DEFAULT_SOLVER}; accelerated backends match the "
+        "reference within 1e-9 V and use their own cache namespace)",
+    )
     parser.add_argument(
         "--profile", action="store_true",
         help="collect tracing spans and counters for the run and print a "
@@ -185,6 +194,7 @@ def main(argv: list[str] | None = None) -> int:
         faults=faults,
         strict=args.strict,
         collector=collector,
+        solver=args.solver,
     )
     result = run_experiment(args.experiment, context, settings)
     if args.json != "-":  # JSON-on-stdout mode keeps stdout machine-readable

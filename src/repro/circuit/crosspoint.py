@@ -92,9 +92,15 @@ class FullArrayModel:
     """
 
     def __init__(
-        self, config: SystemConfig, faults: "FaultModel | None" = None
+        self,
+        config: SystemConfig,
+        faults: "FaultModel | None" = None,
+        solver: str | None = None,
     ) -> None:
+        from .solvers import solver_name
+
         self.config = config
+        self.solver = solver_name(solver)
         self.cell_model = CellModel.from_params(config.cell)
         self.selector = SelectorModel.from_params(
             config.array.selector, config.cell.i_on, config.cell.v_reset
@@ -219,7 +225,7 @@ class FullArrayModel:
                 net.fix_voltage(int(bl[0, c]), v_half)
 
         with obs.span("solve.exact", array=a):
-            solution = net.solve()
+            solution = net.solve(backend=self.solver)
         wl_plane = solution.voltages[: a * a].reshape(a, a)
         bl_plane = solution.voltages[a * a :].reshape(a, a)
 

@@ -48,10 +48,19 @@ class ReducedSolution:
 
 
 class ReducedArrayModel:
-    """Fast IR-drop model of a cross-point MAT under RESET."""
+    """Fast IR-drop model of a cross-point MAT under RESET.
 
-    def __init__(self, config: SystemConfig) -> None:
+    ``solver`` selects the backend used for the Newton solves (see
+    :mod:`repro.circuit.solvers`); it is stored by name so models stay
+    picklable for the process-pool executors — workers resolve their own
+    backend singleton on first use.
+    """
+
+    def __init__(self, config: SystemConfig, solver: str | None = None) -> None:
+        from .solvers import solver_name
+
         self.config = config
+        self.solver = solver_name(solver)
         self.cell_model = CellModel.from_params(config.cell)
         self.selector = SelectorModel.from_params(
             config.array.selector, config.cell.i_on, config.cell.v_reset
@@ -79,6 +88,54 @@ class ReducedArrayModel:
         Parameters mirror
         :meth:`repro.circuit.crosspoint.FullArrayModel.solve_reset`.
         """
+        row, cols, drive = self._normalise(row, cols, v_applied)
+        net, wl_nodes, bl_nodes = self._build_reset_network(row, cols, drive, bias)
+        with obs.span("solve.reduced", array=self.config.array.size):
+            solution = net.solve(backend=self.solver)
+        return self._extract(solution, row, cols, wl_nodes, bl_nodes)
+
+    def solve_reset_many(
+        self,
+        selections: "list[tuple[int, tuple[int, ...]]]",
+        v_applied: float | dict[int, float] | None = None,
+        bias: BiasScheme = BASELINE_BIAS,
+    ) -> "list[ReducedSolution]":
+        """Solve several independent RESETs ``(row, cols)`` at once.
+
+        Equivalent to calling :meth:`solve_reset` per selection, but the
+        whole batch is handed to the backend's ``solve_many`` so backends
+        that stack solves (``batched``) amortise factorisation and
+        Python overhead across the batch.
+        """
+        from .solvers import get_backend
+
+        prepared = [
+            self._normalise(row, cols, v_applied) for row, cols in selections
+        ]
+        built = [
+            self._build_reset_network(row, cols, drive, bias)
+            for row, cols, drive in prepared
+        ]
+        with obs.span(
+            "solve.reduced.batch", array=self.config.array.size, batch=len(built)
+        ):
+            solutions = get_backend(self.solver).solve_many(
+                [net for net, _wl, _bl in built]
+            )
+        return [
+            self._extract(solution, row, cols, wl_nodes, bl_nodes)
+            for solution, (row, cols, _drive), (_net, wl_nodes, bl_nodes) in zip(
+                solutions, prepared, built
+            )
+        ]
+
+    def _normalise(
+        self,
+        row: int,
+        cols: tuple[int, ...] | list[int],
+        v_applied: float | dict[int, float] | None,
+    ) -> tuple[int, tuple[int, ...], dict[int, float]]:
+        """Validate a selection and resolve per-column drive voltages."""
         a = self.config.array.size
         cols = tuple(sorted(set(cols)))
         if not 0 <= row < a:
@@ -88,15 +145,26 @@ class ReducedArrayModel:
         if any(not 0 <= c < a for c in cols):
             raise ValueError(f"columns {cols} outside array of size {a}")
 
-        v_rst = self.config.cell.v_reset
         if v_applied is None:
-            v_applied = v_rst
+            v_applied = self.config.cell.v_reset
         drive = (
             {c: float(v_applied) for c in cols}
             if not isinstance(v_applied, dict)
             else {c: float(v_applied[c]) for c in cols}
         )
-        v_half = v_rst / 2.0
+        return row, cols, drive
+
+    def _build_reset_network(
+        self,
+        row: int,
+        cols: tuple[int, ...],
+        drive: dict[int, float],
+        bias: BiasScheme,
+    ) -> tuple[Network, list[int], dict[int, list[int]]]:
+        """Construct the reduced RESET network (order is load-bearing:
+        the ``reference`` backend's results are byte-locked to it)."""
+        a = self.config.array.size
+        v_half = self.config.cell.v_reset / 2.0
         r_wire = self.config.array.r_wire
         selected = set(cols)
 
@@ -109,8 +177,7 @@ class ReducedArrayModel:
         ground_terminal = net.add_node()
         net.fix_voltage(ground_terminal, 0.0)
         net.add_resistor(ground_terminal, wl_nodes[0], r_wire)
-        for c in range(a - 1):
-            net.add_resistor(wl_nodes[c], wl_nodes[c + 1], r_wire)
+        net.add_resistors(wl_nodes[:-1], wl_nodes[1:], r_wire)
         if bias.wl_ground_both_ends:
             right = net.add_node()
             net.fix_voltage(right, 0.0)
@@ -120,9 +187,8 @@ class ReducedArrayModel:
                 net.fix_voltage(wl_nodes[c], 0.0)
 
         # Half-selected cells on the selected WL: unselected BLs at Vrst/2.
-        for c in range(a):
-            if c not in selected:
-                net.add_device(rail, wl_nodes[c], self.leak)
+        unselected_wl = [wl_nodes[c] for c in range(a) if c not in selected]
+        net.add_devices([rail] * len(unselected_wl), unselected_wl, self.leak)
 
         # Each selected BL is its own ladder driven from the bottom.
         bl_nodes: dict[int, list[int]] = {}
@@ -132,8 +198,7 @@ class ReducedArrayModel:
             driver = net.add_node()
             net.fix_voltage(driver, drive[c])
             net.add_resistor(driver, nodes[0], r_wire)
-            for r in range(a - 1):
-                net.add_resistor(nodes[r], nodes[r + 1], r_wire)
+            net.add_resistors(nodes[:-1], nodes[1:], r_wire)
             if bias.bl_drive_both_ends:
                 top = net.add_node()
                 net.fix_voltage(top, drive[c])
@@ -142,19 +207,30 @@ class ReducedArrayModel:
                 for r in range(bias.bl_tap_every, a, bias.bl_tap_every):
                     net.fix_voltage(nodes[r], drive[c])
             # Half-selected cells on this BL: unselected WLs at Vrst/2.
-            for r in range(a):
-                if r != row:
-                    net.add_device(nodes[r], rail, self.leak)
+            halves = nodes[:row] + nodes[row + 1:]
+            net.add_devices(halves, [rail] * len(halves), self.leak)
             # The selected cell couples this BL to the selected WL; its
             # selector is fully on, so it presents a saturating load.
             net.add_device(nodes[row], wl_nodes[c], self.on_stack)
 
-        with obs.span("solve.reduced", array=a):
-            solution = net.solve()
+        return net, wl_nodes, bl_nodes
 
-        wl_profile = np.array([solution.voltage(n) for n in wl_nodes])
+    def _extract(
+        self,
+        solution,
+        row: int,
+        cols: tuple[int, ...],
+        wl_nodes: list[int],
+        bl_nodes: dict[int, list[int]],
+    ) -> ReducedSolution:
+        """Read the figure-facing quantities out of a solved network."""
+        v_half = self.config.cell.v_reset / 2.0
+        r_wire = self.config.array.r_wire
+
+        voltages = solution.voltages
+        wl_profile = voltages[np.asarray(wl_nodes, dtype=np.intp)]
         bl_profiles = {
-            c: np.array([solution.voltage(n) for n in nodes])
+            c: voltages[np.asarray(nodes, dtype=np.intp)]
             for c, nodes in bl_nodes.items()
         }
         v_eff = {
@@ -166,12 +242,13 @@ class ReducedArrayModel:
         total_wl_current = abs(
             (solution.voltage(wl_nodes[0]) - 0.0) / r_wire
         )
-        sneak = sum(
-            float(self.leak.current(bl_profiles[c][r] - v_half))
-            for c in cols
-            for r in range(a)
-            if r != row
-        )
+        # Accumulation order (column-major, selected row skipped) is
+        # load-bearing: the reference backend's payloads are byte-locked.
+        sneak = 0.0
+        for c in cols:
+            currents = self.leak.current(bl_profiles[c] - v_half).tolist()
+            del currents[row]
+            sneak = sum(currents, sneak)
         return ReducedSolution(
             v_eff=v_eff,
             bl_profiles=bl_profiles,

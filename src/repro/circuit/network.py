@@ -19,13 +19,14 @@ tractable in NumPy.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import struct
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
-from .. import obs
 from .selector import SelectorModel
 
 __all__ = ["GROUND", "Network", "Solution", "ConvergenceError"]
@@ -86,6 +87,8 @@ class Network:
         self._groups: dict[int, _DeviceGroup] = {}
         self._device_order: list[tuple[int, int]] = []  # (model id, slot)
         self._fixed: dict[int, float] = {}
+        self._revision = 0  # bumped on any mutation; guards signature memos
+        self._pattern_memo: tuple[int, str] | None = None
 
     # -- construction ---------------------------------------------------------
 
@@ -114,6 +117,7 @@ class Network:
         self._res_n1.append(n1)
         self._res_n2.append(n2)
         self._res_g.append(1.0 / resistance)
+        self._revision += 1
 
     def add_device(self, n1: int, n2: int, model: SelectorModel) -> int:
         """Connect a nonlinear selector stack between ``n1`` and ``n2``.
@@ -129,7 +133,58 @@ class Network:
         group.n2.append(n2)
         handle = len(self._device_order)
         self._device_order.append((id(model), len(group.n1) - 1))
+        self._revision += 1
         return handle
+
+    def _check_nodes(self, nodes: np.ndarray) -> None:
+        bad = (nodes != GROUND) & ((nodes < 0) | (nodes >= self._node_count))
+        if bad.any():
+            raise ValueError(f"unknown node handle {int(nodes[bad][0])}")
+
+    def add_resistors(
+        self, n1s, n2s, resistance: float
+    ) -> None:
+        """Bulk :meth:`add_resistor`: many equal-valued resistors at once.
+
+        Produces exactly the element lists the equivalent loop of
+        single calls would — results are byte-identical — while paying
+        Python call overhead once instead of per resistor.
+        """
+        a1 = np.asarray(list(n1s), dtype=np.int64)
+        a2 = np.asarray(list(n2s), dtype=np.int64)
+        if a1.shape != a2.shape:
+            raise ValueError("endpoint lists must have equal length")
+        self._check_nodes(a1)
+        self._check_nodes(a2)
+        if resistance <= 0:
+            raise ValueError(f"resistance must be positive, got {resistance}")
+        self._res_n1.extend(a1.tolist())
+        self._res_n2.extend(a2.tolist())
+        self._res_g.extend([1.0 / resistance] * a1.size)
+        self._revision += 1
+
+    def add_devices(self, n1s, n2s, model: SelectorModel) -> list[int]:
+        """Bulk :meth:`add_device`: many devices sharing one model.
+
+        Returns the device handles in order; byte-identical to the
+        equivalent loop of single calls.
+        """
+        l1 = [int(n) for n in n1s]
+        l2 = [int(n) for n in n2s]
+        if len(l1) != len(l2):
+            raise ValueError("endpoint lists must have equal length")
+        self._check_nodes(np.asarray(l1, dtype=np.int64))
+        self._check_nodes(np.asarray(l2, dtype=np.int64))
+        group = self._groups.setdefault(id(model), _DeviceGroup(model))
+        base_slot = len(group.n1)
+        group.n1.extend(l1)
+        group.n2.extend(l2)
+        start = len(self._device_order)
+        self._device_order.extend(
+            (id(model), base_slot + i) for i in range(len(l1))
+        )
+        self._revision += 1
+        return list(range(start, start + len(l1)))
 
     def fix_voltage(self, node: int, voltage: float) -> None:
         """Pin ``node`` to an ideal voltage source of ``voltage`` volts."""
@@ -137,6 +192,7 @@ class Network:
         if node == GROUND:
             raise ValueError("the ground reference is already fixed at 0 V")
         self._fixed[node] = float(voltage)
+        self._revision += 1
 
     @property
     def node_count(self) -> int:
@@ -146,6 +202,47 @@ class Network:
     def device_count(self) -> int:
         return len(self._device_order)
 
+    @property
+    def revision(self) -> int:
+        """Mutation counter: bumped by every structural change."""
+        return self._revision
+
+    def pattern_signature(self) -> str:
+        """Stable hash of the network's sparsity pattern and elements.
+
+        Covers the node count, every resistor (endpoints *and*
+        conductance), every device (endpoints and model parameters) and
+        the set of pinned nodes — but **not** the pinned voltage values,
+        so two RESET networks that differ only in drive level share a
+        signature and a cached factorisation structure.  Memoised per
+        :attr:`revision`: any mutation (say a fault-injected cell
+        swapping its device model mid-sweep) yields a fresh hash, which
+        is what forces the factor-cache backends to rebuild instead of
+        reusing a stale Jacobian structure.
+        """
+        if self._pattern_memo is not None and self._pattern_memo[0] == self._revision:
+            return self._pattern_memo[1]
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(struct.pack("<qqq", self._node_count, len(self._res_g),
+                                  len(self._groups)))
+        digest.update(np.asarray(self._res_n1, dtype=np.int64).tobytes())
+        digest.update(np.asarray(self._res_n2, dtype=np.int64).tobytes())
+        digest.update(np.asarray(self._res_g, dtype=np.float64).tobytes())
+        for group in self._groups.values():
+            model = group.model
+            digest.update(type(model).__name__.encode())
+            digest.update(
+                repr(tuple(dataclasses.astuple(model))).encode()
+                if dataclasses.is_dataclass(model)
+                else repr(model).encode()
+            )
+            digest.update(np.asarray(group.n1, dtype=np.int64).tobytes())
+            digest.update(np.asarray(group.n2, dtype=np.int64).tobytes())
+        digest.update(np.asarray(sorted(self._fixed), dtype=np.int64).tobytes())
+        signature = digest.hexdigest()
+        self._pattern_memo = (self._revision, signature)
+        return signature
+
     # -- solving --------------------------------------------------------------
 
     def solve(
@@ -154,6 +251,7 @@ class Network:
         tol: float = 1e-10,
         max_iterations: int = 200,
         v_step_limit: float = 0.25,
+        backend: "str | None" = None,
     ) -> Solution:
         """Solve the network with damped Newton iteration.
 
@@ -169,42 +267,19 @@ class Network:
             Newton iteration budget before :class:`ConvergenceError`.
         v_step_limit:
             Maximum per-node voltage change applied in one Newton step.
+        backend:
+            Solver backend name (or instance); ``None`` uses the
+            ``reference`` backend, the seed-exact per-solve path.  See
+            :mod:`repro.circuit.solvers`.
         """
-        obs.count("solver.solves")
-        state = _SolverState(self)
-        voltages = state.initial_voltages(initial)
-        residual = state.residual(voltages)
-        norm = float(np.linalg.norm(residual))
-        for iteration in range(1, max_iterations + 1):
-            if norm <= tol:
-                return Solution(voltages, iteration - 1, norm)
-            jacobian = state.jacobian(voltages)
-            obs.count("solver.factorisations")
-            delta = spla.spsolve(jacobian, -residual)
-            max_step = float(np.max(np.abs(delta))) if delta.size else 0.0
-            if max_step > v_step_limit:
-                delta *= v_step_limit / max_step
-            scale = 1.0
-            for _ in range(40):
-                trial = voltages.copy()
-                trial[state.free] += scale * delta
-                trial_residual = state.residual(trial)
-                trial_norm = float(np.linalg.norm(trial_residual))
-                if trial_norm < norm or trial_norm <= tol:
-                    voltages, residual, norm = trial, trial_residual, trial_norm
-                    break
-                scale *= 0.5
-            else:
-                raise ConvergenceError(
-                    f"line search stalled at residual {norm:.3e} A"
-                )
-        if norm <= tol * 100:
-            # Accept near-converged solutions; the KCL error is still tiny
-            # relative to the micro-amp device currents.
-            return Solution(voltages, max_iterations, norm)
-        raise ConvergenceError(
-            f"Newton failed to converge in {max_iterations} iterations "
-            f"(residual {norm:.3e} A)"
+        from .solvers import get_backend
+
+        return get_backend(backend).solve(
+            self,
+            initial=initial,
+            tol=tol,
+            max_iterations=max_iterations,
+            v_step_limit=v_step_limit,
         )
 
     # -- post-solve queries ---------------------------------------------------
@@ -293,11 +368,34 @@ class _SolverState:
         fixed_mask[list(fixed)] = True
         inject_rows: list[np.ndarray] = []
         inject_vals: list[np.ndarray] = []
+        inject_src: list[np.ndarray] = []
+        inject_g: list[np.ndarray] = []
         for a, other in ((i1, res_n2), (i2, res_n1)):
             crossing = (a >= 0) & (other >= 0) & fixed_mask[np.maximum(other, 0)]
             inject_rows.append(a[crossing])
             inject_vals.append(-res_g[crossing] * voltage_of[other[crossing]])
+            inject_src.append(other[crossing])
+            inject_g.append(res_g[crossing])
+        # Kept so refresh_fixed() can recompute the injections when the
+        # pinned voltage *values* change (structure reuse across drives).
+        self._inject_src = np.concatenate(inject_src)
+        self._inject_g = np.concatenate(inject_g)
         return matrix, np.concatenate(inject_rows), np.concatenate(inject_vals)
+
+    def refresh_fixed(self, fixed: dict[int, float]) -> None:
+        """Update pinned voltage values in place (same pinned-node set).
+
+        Lets a cached state be reused across solves that differ only in
+        drive levels: the reduced conductance matrix is untouched, only
+        the fixed-voltage vector and the source injections refresh.
+        """
+        if sorted(fixed) != list(self.fixed_nodes):
+            raise ValueError("refresh_fixed requires an identical pinned-node set")
+        self.fixed_values = np.array([fixed[i] for i in sorted(fixed)], dtype=float)
+        voltage_of = np.zeros(self._network.node_count + 1, dtype=float)
+        for node, value in fixed.items():
+            voltage_of[node] = value
+        self._inject_vals = -self._inject_g * voltage_of[self._inject_src]
 
     def initial_voltages(self, initial: np.ndarray | None) -> np.ndarray:
         voltages = np.zeros(self._network.node_count, dtype=float)

@@ -1,0 +1,104 @@
+"""Pluggable IR-drop solver backends.
+
+Every RESET-latency figure reduces to thousands of near-identical
+Newton solves of the cross-point nodal network — one per RESET vector.
+The backends here trade generality for reuse on that workload, behind
+one interface (:class:`~repro.circuit.solvers.base.SolverBackend`):
+
+``reference``
+    The historical per-solve path: assemble the Jacobian from scratch
+    each Newton iteration and solve it with ``scipy`` ``spsolve``.
+    Payloads produced through this backend are byte-identical to the
+    seed implementation; it is the parity anchor the other backends are
+    tested against.
+
+``factor-cache``
+    Keys the factorisation *structure* — free-node maps, the reduced
+    linear conductance matrix, and the Jacobian's CSC sparsity pattern
+    with a precomputed scatter template — on the (array geometry,
+    selection topology) sparsity pattern, and reuses it across Newton
+    iterations and across RESET vectors.  Re-solves of a known pattern
+    also warm-start Newton from the previous converged solution.
+
+``batched``
+    Stacks the independent per-BL / per-section solves of a RESET
+    vector into one block-diagonal system, runs the per-network Newton
+    iterations in lockstep (vectorised device evaluation, one sparse
+    factorisation per iteration) and shares the factor-cache machinery
+    for cross-vector reuse.
+
+Numerical contract: ``reference`` is exact legacy behaviour;
+``factor-cache`` and ``batched`` agree with it on node voltages within
+1e-9 V (enforced by ``tests/circuit/test_solver_parity.py``).  See
+``docs/solvers.md``.
+"""
+
+from __future__ import annotations
+
+from .base import SolverBackend
+from .batched import BatchedBackend
+from .factor_cache import FactorCacheBackend
+from .reference import ReferenceBackend
+
+__all__ = [
+    "SolverBackend",
+    "ReferenceBackend",
+    "FactorCacheBackend",
+    "BatchedBackend",
+    "DEFAULT_SOLVER",
+    "available_solvers",
+    "get_backend",
+    "solver_name",
+]
+
+DEFAULT_SOLVER = "reference"
+
+_BACKEND_TYPES: dict[str, type[SolverBackend]] = {
+    ReferenceBackend.name: ReferenceBackend,
+    FactorCacheBackend.name: FactorCacheBackend,
+    BatchedBackend.name: BatchedBackend,
+}
+
+#: Process-wide singletons so structure/warm-start caches are shared by
+#: every model using the same backend name (workers build their own).
+_INSTANCES: dict[str, SolverBackend] = {}
+
+
+def available_solvers() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend` (and the CLI ``--solver``)."""
+    return tuple(sorted(_BACKEND_TYPES))
+
+
+def get_backend(solver: "str | SolverBackend | None") -> SolverBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``None`` resolves to the :data:`DEFAULT_SOLVER`.  Named lookups
+    return a process-wide singleton, so pattern/warm-start caches are
+    shared across models.
+    """
+    if isinstance(solver, SolverBackend):
+        return solver
+    name = solver or DEFAULT_SOLVER
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        backend_type = _BACKEND_TYPES.get(name)
+        if backend_type is None:
+            raise ValueError(
+                f"unknown solver backend {name!r} "
+                f"(choose from {', '.join(available_solvers())})"
+            )
+        instance = _INSTANCES[name] = backend_type()
+    return instance
+
+
+def solver_name(solver: "str | SolverBackend | None") -> str:
+    """Canonical name of a backend spec (for cache keys / artifacts)."""
+    if isinstance(solver, SolverBackend):
+        return solver.name
+    name = solver or DEFAULT_SOLVER
+    if name not in _BACKEND_TYPES:
+        raise ValueError(
+            f"unknown solver backend {name!r} "
+            f"(choose from {', '.join(available_solvers())})"
+        )
+    return name

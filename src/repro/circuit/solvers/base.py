@@ -1,0 +1,74 @@
+"""Backend interface shared by every IR-drop solver implementation."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..network import Network, Solution
+
+__all__ = ["SolverBackend"]
+
+
+class SolverBackend(ABC):
+    """One strategy for solving resistive-network Newton systems.
+
+    A backend owns whatever cross-solve state it needs (factorisation
+    structures, warm-start vectors); :class:`~repro.circuit.network.Network`
+    stays a plain netlist.  Backends must all satisfy the same contract:
+    damped Newton on the nodal KCL system, converged to ``tol`` on the
+    residual norm, raising
+    :class:`~repro.circuit.network.ConvergenceError` when the iteration
+    budget or line search is exhausted.
+    """
+
+    #: Registry name; also used in cache keys and obs counters.
+    name: str = "abstract"
+
+    @abstractmethod
+    def solve(
+        self,
+        network: "Network",
+        initial: np.ndarray | None = None,
+        tol: float = 1e-10,
+        max_iterations: int = 200,
+        v_step_limit: float = 0.25,
+    ) -> "Solution":
+        """Solve one network (parameters mirror ``Network.solve``)."""
+
+    def solve_many(
+        self,
+        networks: Sequence["Network"],
+        initials: Sequence[np.ndarray | None] | None = None,
+        tol: float = 1e-10,
+        max_iterations: int = 200,
+        v_step_limit: float = 0.25,
+    ) -> "list[Solution]":
+        """Solve independent networks; backends may stack them.
+
+        The default implementation solves them one at a time in order,
+        which keeps the ``reference`` backend's many-solve results
+        byte-identical to a caller-side loop.
+        """
+        if initials is None:
+            initials = [None] * len(networks)
+        if len(initials) != len(networks):
+            raise ValueError(
+                f"got {len(initials)} initial guesses for {len(networks)} networks"
+            )
+        return [
+            self.solve(
+                network,
+                initial=initial,
+                tol=tol,
+                max_iterations=max_iterations,
+                v_step_limit=v_step_limit,
+            )
+            for network, initial in zip(networks, initials)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

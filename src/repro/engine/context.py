@@ -54,6 +54,13 @@ class RunContext:
     :class:`~repro.engine.artifact.ExperimentResult` under
     ``extra["profile"]``.  ``None`` (the default) keeps all
     instrumentation in its zero-overhead no-op mode.
+
+    ``solver`` names the IR-drop solver backend
+    (:mod:`repro.circuit.solvers`) used by every model this context
+    hands out; it participates in both the model cache key and the
+    disk-cache experiment key, so results computed under different
+    backends never alias.  ``None`` means the seed-exact ``reference``
+    backend.
     """
 
     def __init__(
@@ -66,7 +73,10 @@ class RunContext:
         faults: "FaultModel | None" = None,
         strict: bool = False,
         collector: "Collector | None" = None,
+        solver: str | None = None,
     ) -> None:
+        from ..circuit.solvers import solver_name
+
         self.config = config or default_config()
         self.seed = seed
         self.executor = executor or SerialExecutor()
@@ -79,6 +89,9 @@ class RunContext:
         self.faults = faults if faults is None or not faults.is_null else None
         self.strict = strict
         self.collector = collector
+        # Validated eagerly so an unknown --solver fails at context
+        # construction, not deep inside the first solve.
+        self.solver = solver_name(solver)
         self._schemes: dict[tuple[str, tuple[int, ...]], dict[str, Scheme]] = {}
         self._task_errors: list[TaskError] = []
         self._retries = 0
@@ -107,9 +120,12 @@ class RunContext:
         """The cached IR-drop model for ``config`` (default: this run's).
 
         When the context carries a fault model, the returned instance is
-        built (and cached) with those faults injected.
+        built (and cached) with those faults injected; the context's
+        solver backend selection is threaded through the same way.
         """
-        return self.model_cache.get(config or self.config, faults=self.faults)
+        return self.model_cache.get(
+            config or self.config, faults=self.faults, solver=self.solver
+        )
 
     def config_hash(self, config: SystemConfig | None = None) -> str:
         return config_hash(config or self.config)

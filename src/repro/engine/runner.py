@@ -70,6 +70,9 @@ def _run(
         settings if experiment.simulation else None,
         context.seed,
         context.faults,  # None for a perfect array (the historical key)
+        # None under the default backend, preserving historical keys;
+        # accelerated backends get their own cache namespace.
+        context.solver if context.solver != "reference" else None,
     )
     start = time.perf_counter()
     payload = context.cache.load(key)

@@ -57,10 +57,14 @@ class ArrayIRModel:
     """
 
     def __init__(
-        self, config: SystemConfig, faults: "FaultModel | None" = None
+        self,
+        config: SystemConfig,
+        faults: "FaultModel | None" = None,
+        solver: str | None = None,
     ) -> None:
         self.config = config
-        self.reduced = ReducedArrayModel(config)
+        self.reduced = ReducedArrayModel(config, solver=solver)
+        self.solver = self.reduced.solver
         self.cell_model: CellModel = self.reduced.cell_model
         self.faults = faults if faults is None or not faults.is_null else None
         self._fault_state: tuple | None = None
@@ -130,10 +134,16 @@ class ArrayIRModel:
             np.round(np.linspace(0, a - 1, min(_PROFILE_SAMPLES, a))).astype(int)
         )
         with obs.span("solve.profile", array=a):
-            drops = []
-            for row in grid:
-                solution = self.reduced.solve_reset(int(row), (0,), v_solve, bias)
-                drops.append(v_applied - solution.v_eff[(int(row), 0)])
+            # One batch covers the whole grid: backends that stack
+            # solves (``batched``) factorise once per Newton iteration
+            # for all sample rows instead of once per row.
+            solutions = self.reduced.solve_reset_many(
+                [(int(row), (0,)) for row in grid], v_solve, bias
+            )
+            drops = [
+                v_applied - solution.v_eff[(int(row), 0)]
+                for row, solution in zip(grid, solutions)
+            ]
         profile = np.interp(np.arange(a), grid, np.asarray(drops))
         self._bl_profiles[key] = profile
         return profile
@@ -305,12 +315,23 @@ class ModelCache:
         self._entries: OrderedDict[str, ArrayIRModel] = OrderedDict()
 
     @staticmethod
-    def _key(config: SystemConfig, faults: "FaultModel | None") -> str:
+    def _key(
+        config: SystemConfig,
+        faults: "FaultModel | None",
+        solver: str | None = None,
+    ) -> str:
         """Compound cache key: a fault sweep never poisons (or reuses)
-        the perfect-array entry."""
+        the perfect-array entry, and models running different solver
+        backends never alias.  The default (reference) backend adds no
+        token, preserving historical keys."""
+        from ..circuit.solvers import solver_name
+
         key = config_hash(config)
         if faults is not None:
             key = f"{key}:{config_hash(faults)}"
+        solver = solver_name(solver)
+        if solver != "reference":
+            key = f"{key}:solver={solver}"
         return key
 
     def _insert(self, key: str, model: ArrayIRModel) -> None:
@@ -334,18 +355,19 @@ class ModelCache:
         self,
         config: SystemConfig,
         faults: "FaultModel | None" = None,
+        solver: str | None = None,
     ) -> ArrayIRModel:
-        """The cached model for ``(config, faults)``, built on first use."""
+        """The cached model for ``(config, faults, solver)``."""
         if faults is not None and faults.is_null:
             faults = None
-        key = self._key(config, faults)
+        key = self._key(config, faults, solver)
         model = self._entries.get(key)
         if model is not None:
             obs.count("model_cache.hit")
             self._entries.move_to_end(key)
             return model
         obs.count("model_cache.miss")
-        model = ArrayIRModel(config, faults=faults)
+        model = ArrayIRModel(config, faults=faults, solver=solver)
         self._insert(key, model)
         return model
 
@@ -354,12 +376,13 @@ class ModelCache:
         config: SystemConfig,
         model: ArrayIRModel,
         faults: "FaultModel | None" = None,
+        solver: str | None = None,
     ) -> None:
         """Seed the cache with a pre-built model (e.g. deserialised from
         a worker); follows the same residency/recency rules as misses."""
         if faults is not None and faults.is_null:
             faults = None
-        self._insert(self._key(config, faults), model)
+        self._insert(self._key(config, faults, solver), model)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -371,6 +394,8 @@ class ModelCache:
 _DEFAULT_CACHE = ModelCache()
 
 
-def get_ir_model(config: SystemConfig) -> ArrayIRModel:
+def get_ir_model(
+    config: SystemConfig, solver: str | None = None
+) -> ArrayIRModel:
     """Shared, memoised :class:`ArrayIRModel` per configuration."""
-    return _DEFAULT_CACHE.get(config)
+    return _DEFAULT_CACHE.get(config, solver=solver)

@@ -1,16 +1,32 @@
-"""Shared fixtures: small array configurations keep circuit solves fast."""
+"""Shared fixtures: small array configurations keep circuit solves fast.
+
+Also hosts the canonical network/array builders the circuit suites
+share — the resistor-ladder factory, deterministic RESET-vector
+generators, and per-backend reduced models — so individual test modules
+stop growing ad-hoc copies.
+"""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.config import default_config
+
+#: Every registered solver backend, in parity-suite order.
+ALL_SOLVERS = ("reference", "factor-cache", "batched")
 
 
 @pytest.fixture(scope="session")
 def tiny_config():
     """16x16 array: fast enough for exact full-network solves."""
     return default_config(size=16)
+
+
+@pytest.fixture(scope="session")
+def mini_config():
+    """32x32 array: the smallest size with visible IR-drop structure."""
+    return default_config(size=32)
 
 
 @pytest.fixture(scope="session")
@@ -23,3 +39,72 @@ def small_config():
 def paper_config():
     """The paper's 512x512 baseline (Tables I and III)."""
     return default_config()
+
+
+@pytest.fixture
+def ladder_builder():
+    """Factory for a series resistor ladder source -> r1 -> ... -> ground.
+
+    Returns ``(net, nodes)``; the final resistor (re-using the last
+    resistance value) ties the ladder to :data:`~repro.circuit.network.GROUND`.
+    """
+    from repro.circuit.network import GROUND, Network
+
+    def build(resistances, v_source):
+        net = Network()
+        source = net.add_node()
+        net.fix_voltage(source, v_source)
+        previous = source
+        nodes = []
+        for r in resistances:
+            node = net.add_node()
+            net.add_resistor(previous, node, r)
+            nodes.append(node)
+            previous = node
+        net.add_resistor(previous, GROUND, resistances[-1])
+        return net, nodes
+
+    return build
+
+
+@pytest.fixture
+def reduced_model_builder():
+    """Factory for :class:`~repro.circuit.line_model.ReducedArrayModel`.
+
+    ``build(size, solver)`` shares one config per size (via
+    ``default_config``'s structural equality) so cross-backend
+    comparisons see identical physics.
+    """
+    from repro.circuit.line_model import ReducedArrayModel
+
+    configs = {}
+
+    def build(size=64, solver=None):
+        config = configs.setdefault(size, default_config(size=size))
+        return ReducedArrayModel(config, solver=solver)
+
+    return build
+
+
+@pytest.fixture
+def reset_vector_gen():
+    """Deterministic RESET-selection generator.
+
+    ``generate(size, count, n_bits=1, seed=1234)`` yields ``count``
+    tuples ``(row, cols)`` with ``n_bits`` distinct columns each, drawn
+    from a fixed-seed generator so golden/parity suites are stable
+    across runs and platforms.
+    """
+
+    def generate(size, count, n_bits=1, seed=1234):
+        rng = np.random.default_rng(seed)
+        selections = []
+        for _ in range(count):
+            row = int(rng.integers(size))
+            cols = tuple(
+                sorted(int(c) for c in rng.choice(size, size=n_bits, replace=False))
+            )
+            selections.append((row, cols))
+        return selections
+
+    return generate

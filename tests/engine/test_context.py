@@ -63,6 +63,61 @@ class TestModelCache:
         assert cache.get(tiny_config) is not tiny  # coldest was evicted
 
 
+class TestSolverSelection:
+    def test_solver_backends_never_alias_in_model_cache(self, tiny_config):
+        cache = ModelCache()
+        default = cache.get(tiny_config)
+        fast = cache.get(tiny_config, solver="factor-cache")
+        assert fast is not default
+        assert fast.solver == "factor-cache"
+        assert cache.get(tiny_config, solver="factor-cache") is fast
+
+    def test_reference_solver_shares_default_entry(self, tiny_config):
+        """Explicit ``reference`` adds no key token: historical entries
+        stay reachable."""
+        cache = ModelCache()
+        assert cache.get(tiny_config) is cache.get(tiny_config, solver="reference")
+
+    def test_context_threads_solver_into_models(self, tiny_config):
+        context = RunContext(
+            config=tiny_config, model_cache=ModelCache(), solver="batched"
+        )
+        assert context.solver == "batched"
+        assert context.ir_model().solver == "batched"
+        assert context.ir_model().reduced.solver == "batched"
+
+    def test_context_defaults_to_reference(self, tiny_config):
+        context = RunContext(config=tiny_config, model_cache=ModelCache())
+        assert context.solver == "reference"
+        assert context.ir_model().solver == "reference"
+
+    def test_unknown_solver_fails_at_construction(self, tiny_config):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            RunContext(config=tiny_config, solver="superlu-typo")
+
+    def test_solver_participates_in_experiment_cache_key(self, tmp_path):
+        from repro.engine import ResultCache, run_experiment
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = run_experiment("fig11a", RunContext(cache=cache))
+        assert first.cache == "miss"
+        # Same experiment under an accelerated backend: its own key.
+        other = run_experiment(
+            "fig11a", RunContext(cache=cache, solver="factor-cache")
+        )
+        assert other.cache == "miss"
+        # Both namespaces hit on re-run.
+        assert run_experiment("fig11a", RunContext(cache=cache)).cache == "hit"
+        assert (
+            run_experiment(
+                "fig11a", RunContext(cache=cache, solver="factor-cache")
+            ).cache
+            == "hit"
+        )
+
+
 class TestSchemes:
     def test_cached_per_config_hash(self, small_config):
         context = RunContext(config=small_config)

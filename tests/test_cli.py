@@ -103,6 +103,17 @@ class TestCli:
         assert main(["fig11a", "--no-cache", "--strict"]) == 0
         assert "optimal_bits: 4" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("solver", ["reference", "factor-cache", "batched"])
+    def test_solver_flag(self, capsys, solver):
+        assert main(["fig11a", "--no-cache", "--solver", solver]) == 0
+        assert "optimal_bits: 4" in capsys.readouterr().out
+
+    def test_unknown_solver_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig11a", "--no-cache", "--solver", "bogus"])
+        assert excinfo.value.code == 2
+        assert "--solver" in capsys.readouterr().err
+
     def test_fault_rate_runs_and_is_seeded(self, capsys, tmp_path):
         first = tmp_path / "first.json"
         second = tmp_path / "second.json"
