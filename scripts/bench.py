@@ -15,10 +15,22 @@ Usage::
     python scripts/bench.py --quick            # CI smoke subset
     python scripts/bench.py --out custom.json
     python scripts/bench.py --validate BENCH_2026-08-06.json
+    python scripts/bench.py --quick --compare BENCH_2026-08-06.json \
+        --fail-over 1.5                        # regression gate (CI)
 
 Experiments run with the cache disabled (the default
 :class:`~repro.engine.context.RunContext` uses a ``NullCache``), so
-timings measure real compute, not disk reads.
+timings measure real compute, not disk reads.  The experiment matrix
+runs under ``--matrix-solver`` (default ``factor-cache``, the
+production backend); every entry records which solver produced it.
+Before each timed entry all cross-solve solver state (structure/LU
+caches, warm starts) and the process-wide profile registry are reset,
+so entries stay independent of matrix order.
+
+``--compare OLD.json`` prints a speedup table (wall time, peak RSS,
+factorisation counts) of this run against a previous document and, with
+``--fail-over R``, exits non-zero if any shared experiment got more
+than ``R`` times slower — the CI regression gate.
 """
 
 from __future__ import annotations
@@ -37,9 +49,12 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro import RunContext, __version__, run_experiment  # noqa: E402
 from repro import obs  # noqa: E402
-from repro.circuit.solvers import available_solvers  # noqa: E402
+from repro.circuit.solvers import (  # noqa: E402
+    available_solvers,
+    reset_backend_state,
+)
 from repro.config import default_config  # noqa: E402
-from repro.xpoint.vmap import ArrayIRModel, ModelCache  # noqa: E402
+from repro.xpoint.vmap import ArrayIRModel, ModelCache, profile_registry  # noqa: E402
 
 #: Circuit-level experiments only: deterministic, no trace generation,
 #: and together they exercise every instrumented layer.
@@ -51,7 +66,43 @@ QUICK_MATRIX = ("fig01e", "fig07b", "fig11a")
 #: accelerated backends exist for.
 SOLVER_SWEEP_VOLTAGES = (3.0, 3.1, 3.2, 3.3)
 
-SCHEMA = 2
+#: Matrix entries are timed under this backend unless overridden.
+DEFAULT_MATRIX_SOLVER = "factor-cache"
+
+SCHEMA = 3
+
+
+def _reset_shared_state() -> None:
+    """Drop all cross-solve state so the next timing starts cold.
+
+    Solver backends keep structure/LU caches and warm-start vectors
+    across solves; the profile registry shares solved profiles across
+    models.  Both would let entry N ride on entry N-1's work and make
+    timings depend on matrix order.
+    """
+    reset_backend_state()
+    profile_registry.clear()
+
+
+def _warm_process() -> None:
+    """Pay one-time process costs before any timed entry.
+
+    The first sparse solve in a process is substantially slower than
+    steady state (SuperLU initialisation, BLAS thread-pool spin-up,
+    allocator growth).  Without this warm-up the first solver-using
+    entry absorbs that cost, so a matrix subset (``--quick``) times its
+    first entry differently from the full matrix — the fig07b
+    order-dependence regression.  One small solve per backend outside
+    the timers makes every entry steady-state; the shared-state reset
+    afterwards keeps the timed entries cold.
+    """
+    from repro.circuit.line_model import ReducedArrayModel
+
+    config = default_config(size=64)
+    for solver in available_solvers():
+        model = ReducedArrayModel(config, solver=solver)
+        model.solve_reset(0, (0,), config.cell.v_reset)
+    _reset_shared_state()
 
 
 def _peak_rss_bytes() -> int:
@@ -61,13 +112,18 @@ def _peak_rss_bytes() -> int:
     return ru_maxrss if sys.platform == "darwin" else ru_maxrss * 1024
 
 
-def run_matrix(names: tuple[str, ...]) -> list[dict]:
+def run_matrix(names: tuple[str, ...], solver: str) -> list[dict]:
     entries = []
     for name in names:
         collector = obs.Collector()
-        # A fresh model cache per entry keeps each timing independent of
-        # the matrix order (no warm IR-drop models from earlier figures).
-        context = RunContext(collector=collector, model_cache=ModelCache())
+        # A fresh model cache per entry — plus the shared-state reset —
+        # keeps each timing independent of the matrix order (no warm
+        # IR-drop models, factorisations or profiles from earlier
+        # figures).
+        _reset_shared_state()
+        context = RunContext(
+            collector=collector, model_cache=ModelCache(), solver=solver
+        )
         start = time.perf_counter()
         result = run_experiment(name, context)
         wall_s = time.perf_counter() - start
@@ -75,6 +131,7 @@ def run_matrix(names: tuple[str, ...]) -> list[dict]:
         entries.append(
             {
                 "experiment": name,
+                "solver": solver,
                 "wall_s": round(wall_s, 6),
                 "peak_rss_bytes": _peak_rss_bytes(),
                 "counters": profile["counters"],
@@ -93,14 +150,16 @@ def run_solver_matrix() -> list[dict]:
     """Time the 512x512 RESET-latency sweep under every solver backend.
 
     Each backend gets a fresh :class:`ArrayIRModel` (no warm profile
-    caches) and runs the same sweep; ``speedup_vs_reference`` is the
-    reference wall time divided by the backend's.
+    caches — shared solver/registry state is reset per backend) and runs
+    the same sweep; ``speedup_vs_reference`` is the reference wall time
+    divided by the backend's.
     """
     config = default_config()
     entries = []
     reference_wall = None
     for solver in available_solvers():
         collector = obs.Collector()
+        _reset_shared_state()
         model = ArrayIRModel(config, solver=solver)
         with obs.collecting(collector):
             start = time.perf_counter()
@@ -178,11 +237,17 @@ def validate(document: dict) -> None:
     check(
         isinstance(entries, list) and entries, "entries must be a non-empty list"
     )
-    entry_keys = {"experiment", "wall_s", "peak_rss_bytes", "counters", "spans"}
+    entry_keys = {
+        "experiment", "solver", "wall_s", "peak_rss_bytes", "counters", "spans",
+    }
     for entry in entries:
         check(
             isinstance(entry, dict) and set(entry) == entry_keys,
             f"entry keys must be {sorted(entry_keys)}",
+        )
+        check(
+            entry["solver"] in available_solvers(),
+            f"entry solver {entry.get('solver')!r} is not a registered backend",
         )
         check(
             isinstance(entry["wall_s"], (int, float)) and entry["wall_s"] >= 0,
@@ -268,6 +333,78 @@ def validate(document: dict) -> None:
     )
 
 
+def _entry_factorisations(entry: dict) -> "int | None":
+    return (entry.get("counters") or {}).get("solver.factorisations")
+
+
+def compare(old: dict, new: dict, fail_over: float | None) -> int:
+    """Print a speedup table of ``new`` against ``old``; gate regressions.
+
+    Experiments are matched by name (solver/schema differences between
+    the documents are reported, not fatal — an old schema-2 baseline
+    measured the reference backend and remains a valid comparison
+    point).  Returns 1 when ``fail_over`` is set and any shared
+    experiment ran more than ``fail_over`` times slower than before.
+    """
+    old_entries = {e["experiment"]: e for e in old.get("entries", ())}
+    header = (
+        f"{'experiment':10s} {'old_s':>9s} {'new_s':>9s} {'speedup':>8s} "
+        f"{'rss_MiB':>8s} {'factorisations':>20s}"
+    )
+    print(f"comparing against schema-{old.get('schema')} document "
+          f"dated {old.get('date')}")
+    print(header)
+    print("-" * len(header))
+    regressions = []
+    for entry in new["entries"]:
+        name = entry["experiment"]
+        before = old_entries.get(name)
+        rss = entry["peak_rss_bytes"] / 2**20
+        if before is None:
+            print(
+                f"{name:10s} {'-':>9s} {entry['wall_s']:9.3f} {'-':>8s} "
+                f"{rss:8.1f} {'-':>20s}"
+            )
+            continue
+        speedup = (
+            before["wall_s"] / entry["wall_s"]
+            if entry["wall_s"] > 0
+            else float("inf")
+        )
+        old_fact = _entry_factorisations(before)
+        new_fact = _entry_factorisations(entry)
+        fact = (
+            f"{old_fact} -> {new_fact}"
+            if old_fact is not None and new_fact is not None
+            else "-"
+        )
+        tags = []
+        if before.get("solver", "reference") != entry["solver"]:
+            tags.append(
+                f"[{before.get('solver', 'reference')} -> {entry['solver']}]"
+            )
+        if fail_over is not None and entry["wall_s"] > fail_over * before["wall_s"]:
+            regressions.append((name, speedup))
+            tags.append("REGRESSION")
+        print(
+            f"{name:10s} {before['wall_s']:9.3f} {entry['wall_s']:9.3f} "
+            f"{speedup:7.2f}x {rss:8.1f} {fact:>20s} {' '.join(tags)}".rstrip()
+        )
+    if regressions:
+        names = ", ".join(
+            f"{name} ({speedup:.2f}x)" for name, speedup in regressions
+        )
+        print(
+            f"FAIL: {len(regressions)} experiment(s) regressed beyond "
+            f"{fail_over}x: {names}",
+            file=sys.stderr,
+        )
+        return 1
+    if fail_over is not None:
+        print(f"OK: no experiment regressed beyond {fail_over}x")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -286,7 +423,27 @@ def main(argv: list[str] | None = None) -> int:
         help="validate an existing bench document against the schema "
         "and exit (no experiments are run)",
     )
+    parser.add_argument(
+        "--matrix-solver", metavar="NAME", default=DEFAULT_MATRIX_SOLVER,
+        choices=available_solvers(),
+        help="solver backend for the experiment matrix "
+        f"(default: {DEFAULT_MATRIX_SOLVER})",
+    )
+    parser.add_argument(
+        "--compare", metavar="OLD_JSON", default=None,
+        help="after the run, print a speedup table against a previous "
+        "bench document (matched by experiment name)",
+    )
+    parser.add_argument(
+        "--fail-over", metavar="RATIO", type=float, default=None,
+        help="with --compare: exit non-zero if any shared experiment "
+        "ran more than RATIO times slower than the old document",
+    )
     args = parser.parse_args(argv)
+    if args.fail_over is not None and args.compare is None:
+        parser.error("--fail-over requires --compare")
+    if args.fail_over is not None and args.fail_over <= 0:
+        parser.error("--fail-over must be positive")
 
     if args.validate is not None:
         document = json.loads(pathlib.Path(args.validate).read_text())
@@ -299,7 +456,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     matrix = QUICK_MATRIX if args.quick else FULL_MATRIX
-    entries = run_matrix(matrix)
+    _warm_process()
+    entries = run_matrix(matrix, args.matrix_solver)
     solver_entries = run_solver_matrix()
     document = build_document(entries, solver_entries, quick=args.quick)
     validate(document)  # never emit a document the validator rejects
@@ -315,6 +473,9 @@ def main(argv: list[str] | None = None) -> int:
         f"{total['wall_s']:.3f}s, "
         f"peak rss {total['peak_rss_bytes'] / 2**20:.1f} MiB)"
     )
+    if args.compare is not None:
+        old = json.loads(pathlib.Path(args.compare).read_text())
+        return compare(old, document, args.fail_over)
     return 0
 
 

@@ -362,7 +362,7 @@ def fig05b(
 ) -> dict:
     """Fig. 5b: main-memory lifetime comparison under non-stop writes."""
     config, context = _resolve(config, context)
-    estimator = LifetimeEstimator(config)
+    estimator = LifetimeEstimator(config, context=context)
     schemes = context.schemes(config)
     order = ["Base", "Hard+Sys", "Static-3.7V", "DRVR", "DRVR+PR", "UDRVR+PR"]
     return {"reports": [estimator.estimate(schemes[name]) for name in order]}
@@ -413,7 +413,7 @@ def fig06(
     config, context = _resolve(config, context)
     model = context.ir_model(config)
     naive = make_naive_high_voltage(config)
-    drvr = make_drvr(config)
+    drvr = make_drvr(config, model=context.nominal_ir_model(config))
     return {
         "naive": _maps_payload(
             context, config, naive.regulator.matrix(model), n_bits=1
@@ -444,7 +444,7 @@ def fig07b(
     model = context.ir_model(config)
     a = config.array.size
     static = model.v_eff_map(config.cell.v_reset)[:, 0]
-    drvr = make_drvr(config)
+    drvr = make_drvr(config, model=context.nominal_ir_model(config))
     regulated = model.v_eff_map(drvr.regulator.matrix(model))[:, 0]
     sections = config.array.drvr_sections
     rows = a // sections
@@ -521,7 +521,7 @@ def fig11(
     """Fig. 11b/c/d: DRVR + PR maps at the partition optimum."""
     config, context = _resolve(config, context)
     model = context.ir_model(config)
-    drvr = make_drvr(config)
+    drvr = make_drvr(config, model=context.nominal_ir_model(config))
     n = model.wl_model.optimal_bits()
     return {
         "n_bits": n,
@@ -541,13 +541,13 @@ def fig13(
     config, context = _resolve(config, context)
     from ..techniques.udrvr import make_udrvr_pr
 
-    scheme = make_udrvr_pr(config)
+    scheme = make_udrvr_pr(config, model=context.nominal_ir_model(config))
     model = context.ir_model(config)
     n = model.wl_model.optimal_bits()
     payload = _maps_payload(
         context, config, scheme.regulator.matrix(model), n_bits=n
     )
-    latency_model = SchemeLatencyModel(config, scheme)
+    latency_model = SchemeLatencyModel(config, scheme, context=context)
     payload["worst_case_write_latency"] = latency_model.worst_case_write_latency()
     return payload
 

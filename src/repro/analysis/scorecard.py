@@ -40,14 +40,22 @@ class SchemeScorecard:
 
 
 def scorecard(
-    scheme: Scheme, config: SystemConfig | None = None
+    scheme: Scheme, config: SystemConfig | None = None, context=None
 ) -> SchemeScorecard:
-    """Evaluate one scheme on every static axis."""
+    """Evaluate one scheme on every static axis.
+
+    ``context`` (an engine :class:`~repro.engine.context.RunContext`)
+    threads the run's solver backend and persistent profile store into
+    the latency tables and lifetime estimate.
+    """
     config = config or default_config()
-    latency = SchemeLatencyModel(config, scheme)
-    lifetime = LifetimeEstimator(config).estimate(scheme)
+    latency = SchemeLatencyModel(config, scheme, context=context)
+    lifetime = LifetimeEstimator(config, context=context).estimate(scheme)
     overheads = chip_overheads(config, scheme)
-    ir = get_ir_model(scheme.effective_config(config))
+    if context is not None:
+        ir = context.nominal_ir_model(scheme.effective_config(config))
+    else:
+        ir = get_ir_model(scheme.effective_config(config))
     return SchemeScorecard(
         scheme=scheme.name,
         worst_write_latency_s=latency.worst_case_write_latency(),
@@ -61,8 +69,13 @@ def scorecard(
 
 
 def scorecard_table(
-    schemes: dict[str, Scheme], config: SystemConfig | None = None
+    schemes: dict[str, Scheme],
+    config: SystemConfig | None = None,
+    context=None,
 ) -> list[SchemeScorecard]:
     """Scorecards for many schemes, fastest first."""
-    cards = [scorecard(scheme, config) for scheme in schemes.values()]
+    cards = [
+        scorecard(scheme, config, context=context)
+        for scheme in schemes.values()
+    ]
     return sorted(cards, key=lambda card: card.worst_write_latency_s)

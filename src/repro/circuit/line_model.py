@@ -99,13 +99,39 @@ class ReducedArrayModel:
         selections: "list[tuple[int, tuple[int, ...]]]",
         v_applied: float | dict[int, float] | None = None,
         bias: BiasScheme = BASELINE_BIAS,
+        initials: "list[np.ndarray | None] | None" = None,
     ) -> "list[ReducedSolution]":
         """Solve several independent RESETs ``(row, cols)`` at once.
 
         Equivalent to calling :meth:`solve_reset` per selection, but the
         whole batch is handed to the backend's ``solve_many`` so backends
         that stack solves (``batched``) amortise factorisation and
-        Python overhead across the batch.
+        Python overhead across the batch.  ``initials`` optionally seeds
+        each solve with a full node-voltage vector (continuation from an
+        adjacent drive point); ``None`` entries start cold.
+        """
+        return [
+            solution
+            for solution, _voltages in self.solve_reset_batch(
+                selections, v_applied, bias, initials
+            )
+        ]
+
+    def solve_reset_batch(
+        self,
+        selections: "list[tuple[int, tuple[int, ...]]]",
+        v_applied: float | dict[int, float] | None = None,
+        bias: BiasScheme = BASELINE_BIAS,
+        initials: "list[np.ndarray | None] | None" = None,
+    ) -> "list[tuple[ReducedSolution, np.ndarray]]":
+        """Like :meth:`solve_reset_many`, returning ``(solution, voltages)``.
+
+        The second element of each pair is the raw node-voltage vector of
+        the solved network — the exact shape a later call can pass back
+        via ``initials`` to continuation-seed the same ``(row, cols)``
+        selection at a nearby drive voltage.  The reduced-network build
+        is deterministic for a fixed selection and bias, so node indices
+        line up between the producing and consuming solves.
         """
         from .solvers import get_backend
 
@@ -120,10 +146,13 @@ class ReducedArrayModel:
             "solve.reduced.batch", array=self.config.array.size, batch=len(built)
         ):
             solutions = get_backend(self.solver).solve_many(
-                [net for net, _wl, _bl in built]
+                [net for net, _wl, _bl in built], initials=initials
             )
         return [
-            self._extract(solution, row, cols, wl_nodes, bl_nodes)
+            (
+                self._extract(solution, row, cols, wl_nodes, bl_nodes),
+                solution.voltages,
+            )
             for solution, (row, cols, _drive), (_net, wl_nodes, bl_nodes) in zip(
                 solutions, prepared, built
             )

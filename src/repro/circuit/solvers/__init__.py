@@ -48,6 +48,7 @@ __all__ = [
     "DEFAULT_SOLVER",
     "available_solvers",
     "get_backend",
+    "reset_backend_state",
     "solver_name",
 ]
 
@@ -89,6 +90,20 @@ def get_backend(solver: "str | SolverBackend | None") -> SolverBackend:
             )
         instance = _INSTANCES[name] = backend_type()
     return instance
+
+
+def reset_backend_state() -> None:
+    """Drop warm state from every instantiated backend singleton.
+
+    Clears structure caches (and with them the ``last_free`` warm-start
+    vectors) so subsequent solves start cold.  Benchmarks call this
+    between entries to keep timings independent of run order; it is a
+    no-op for stateless backends such as ``reference``.
+    """
+    for instance in _INSTANCES.values():
+        cache = getattr(instance, "cache", None)
+        if cache is not None:
+            cache.clear()
 
 
 def solver_name(solver: "str | SolverBackend | None") -> str:

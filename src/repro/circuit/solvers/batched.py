@@ -60,8 +60,9 @@ class BatchedBackend(SolverBackend):
 
     name = "batched"
 
-    def __init__(self, cache_size: int = 64) -> None:
+    def __init__(self, cache_size: int = 64, chord: bool = True) -> None:
         self.cache = StructureCache(maxsize=cache_size)
+        self.chord = chord
 
     def solve(
         self,
@@ -121,6 +122,7 @@ class BatchedBackend(SolverBackend):
                         np.mean(list(net._fixed.values()))
                     )
 
+        seeded = merged_initial is not None or structure.last_free is not None
         try:
             solutions = newton_block_solve(
                 structure,
@@ -130,12 +132,17 @@ class BatchedBackend(SolverBackend):
                 tol=tol,
                 max_iterations=max_iterations,
                 v_step_limit=v_step_limit,
+                chord=self.chord,
             )
         except ConvergenceError:
-            if structure.last_free is None or merged_initial is not None:
-                raise
-            # Warm start from an incompatible drive point: retry cold.
+            if not seeded:
+                raise  # a genuinely cold full-Newton failure is final
+            # Warm start or caller seeds from an incompatible drive
+            # point (or a stalled chord iteration): the guaranteed
+            # fallback is a cold flat-start full Newton.
+            obs.count("solver.full_newton_fallbacks")
             structure.last_free = None
+            structure.last_lu = None
             solutions = newton_block_solve(
                 structure,
                 blocks,
@@ -144,6 +151,7 @@ class BatchedBackend(SolverBackend):
                 tol=tol,
                 max_iterations=max_iterations,
                 v_step_limit=v_step_limit,
+                chord=False,
             )
 
         return [

@@ -27,12 +27,19 @@ __all__ = ["FactorCacheBackend"]
 
 
 class FactorCacheBackend(SolverBackend):
-    """Pattern-keyed structure reuse with warm-started Newton."""
+    """Pattern-keyed structure reuse with warm-started chord Newton.
+
+    ``chord=False`` disables factorisation reuse across iterations while
+    keeping structure/warm-start reuse across solves — the knob the
+    parity and property suites use to compare the two convergence
+    strategies on identical machinery.
+    """
 
     name = "factor-cache"
 
-    def __init__(self, cache_size: int = 64) -> None:
+    def __init__(self, cache_size: int = 64, chord: bool = True) -> None:
         self.cache = StructureCache(maxsize=cache_size)
+        self.chord = chord
 
     def solve(
         self,
@@ -47,6 +54,7 @@ class FactorCacheBackend(SolverBackend):
         obs.count("solver.solves")
         structure = self.cache.get(network)
         block = [(0, structure.state.free.size, 0, network.node_count)]
+        seeded = initial is not None or structure.last_free is not None
         try:
             return newton_block_solve(
                 structure,
@@ -56,13 +64,19 @@ class FactorCacheBackend(SolverBackend):
                 tol=tol,
                 max_iterations=max_iterations,
                 v_step_limit=v_step_limit,
+                chord=self.chord,
             )[0]
         except ConvergenceError:
-            if structure.last_free is None or initial is not None:
-                raise
-            # A warm start from a very different drive point can stall
-            # the line search; retry cold before giving up.
+            if not seeded:
+                raise  # a genuinely cold full-Newton failure is final
+            # A warm start or caller seed from a very different drive
+            # point (or, in pathological cases, the chord iteration's
+            # stale directions) can exhaust the iteration budget; the
+            # guaranteed fallback is a cold flat-start full Newton —
+            # the reference backend's exact schedule.
+            obs.count("solver.full_newton_fallbacks")
             structure.last_free = None
+            structure.last_lu = None
             return newton_block_solve(
                 structure,
                 block,
@@ -71,4 +85,5 @@ class FactorCacheBackend(SolverBackend):
                 tol=tol,
                 max_iterations=max_iterations,
                 v_step_limit=v_step_limit,
+                chord=False,
             )[0]

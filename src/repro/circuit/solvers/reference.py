@@ -42,6 +42,7 @@ class ReferenceBackend(SolverBackend):
         for iteration in range(1, max_iterations + 1):
             if norm <= tol:
                 return Solution(voltages, iteration - 1, norm)
+            obs.count("solver.newton_iterations")
             jacobian = state.jacobian(voltages)
             obs.count("solver.factorisations")
             delta = spla.spsolve(jacobian, -residual)

@@ -34,7 +34,14 @@ from typing import Any
 
 from .. import obs
 
-__all__ = ["MISSING", "NullCache", "ResultCache", "cache_key", "DEFAULT_CACHE_DIR"]
+__all__ = [
+    "MISSING",
+    "NullCache",
+    "ProfileStore",
+    "ResultCache",
+    "cache_key",
+    "DEFAULT_CACHE_DIR",
+]
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -102,6 +109,53 @@ class NullCache:
 
     def store(self, key: str, value: Any) -> None:
         pass
+
+
+class ProfileStore:
+    """Persistent solver-profile layer over a result cache.
+
+    Promotes expensive per-model intermediates — quantised BL drop
+    profiles, WL-model calibrations — into the checksummed
+    ``.repro_cache`` disk layer so they are shared *across* experiments
+    and *across* runs (the experiment-level cache only shares whole
+    payloads).  Keys are canonical part tuples built by the caller
+    (``("bl-profile", config_hash, solver, faults, quantum, ...)``);
+    the store namespaces them under ``"profile"`` so they can never
+    collide with experiment result keys.
+
+    Integrity is inherited from :class:`ResultCache`: a corrupted or
+    version-skewed entry is quarantined on load and reads as a miss
+    (``None``), so callers always fall back to a live solve.  Instances
+    only hold a cache reference and pickle cleanly when backed by a
+    directory cache.
+    """
+
+    def __init__(self, cache: "ResultCache | NullCache") -> None:
+        self._cache = cache
+        #: Keys known to be on disk already (loaded or stored through
+        #: this instance) — suppresses rewrites of unchanged artefacts.
+        self._seen: set[str] = set()
+
+    @property
+    def enabled(self) -> bool:
+        return bool(getattr(self._cache, "enabled", False))
+
+    def load(self, parts: tuple) -> Any:
+        """The stored value for ``parts``, or ``None`` on any miss."""
+        value = self._cache.load(cache_key("profile", *parts))
+        if value is MISSING:
+            return None
+        self._seen.add(cache_key("profile", *parts))
+        return value
+
+    def store(self, parts: tuple, value: Any) -> bool:
+        """Write ``value`` under ``parts``; ``True`` if newly written."""
+        key = cache_key("profile", *parts)
+        if key in self._seen:
+            return False
+        self._cache.store(key, value)
+        self._seen.add(key)
+        return True
 
 
 class ResultCache:

@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..config import SystemConfig, config_hash, default_config
-from .cache import NullCache, ResultCache
+from .cache import NullCache, ProfileStore, ResultCache
 from .executor import SerialExecutor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -86,6 +86,12 @@ class RunContext:
 
             model_cache = vmap._DEFAULT_CACHE
         self.model_cache = model_cache
+        # Persistent profile layer: rides on the run's disk cache, so a
+        # --no-cache run also skips profile persistence (the in-process
+        # registry still shares profiles between experiments).
+        self.profile_store = (
+            ProfileStore(self.cache) if self.cache.enabled else None
+        )
         self.faults = faults if faults is None or not faults.is_null else None
         self.strict = strict
         self.collector = collector
@@ -121,10 +127,32 @@ class RunContext:
 
         When the context carries a fault model, the returned instance is
         built (and cached) with those faults injected; the context's
-        solver backend selection is threaded through the same way.
+        solver backend selection and persistent profile store are
+        threaded through the same way.
         """
         return self.model_cache.get(
-            config or self.config, faults=self.faults, solver=self.solver
+            config or self.config,
+            faults=self.faults,
+            solver=self.solver,
+            profile_store=self.profile_store,
+        )
+
+    def nominal_ir_model(
+        self, config: SystemConfig | None = None
+    ) -> "ArrayIRModel":
+        """The *fault-free* cached IR-drop model for ``config``.
+
+        Design-time calibrations (DRVR/UDRVR level solving, latency
+        tables, endurance estimates) characterise the nominal array, so
+        they must not see this run's injected faults — but they should
+        still benefit from the context's solver backend and persistent
+        profile store.
+        """
+        return self.model_cache.get(
+            config or self.config,
+            faults=None,
+            solver=self.solver,
+            profile_store=self.profile_store,
         )
 
     def config_hash(self, config: SystemConfig | None = None) -> str:
@@ -144,7 +172,11 @@ class RunContext:
         key = (config_hash(config), tuple(oracle_sections))
         registry = self._schemes.get(key)
         if registry is None:
-            registry = standard_schemes(config, oracle_sections)
+            registry = standard_schemes(
+                config,
+                oracle_sections,
+                model=self.nominal_ir_model(config),
+            )
             self._schemes[key] = registry
         return registry
 

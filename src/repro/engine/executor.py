@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import random
+import sys
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -133,7 +134,11 @@ class TaskResult:
     carries a :class:`TaskError` and a ``None`` value.  ``obs`` holds
     the worker-side observability snapshot when the task ran in a pool
     worker while the parent was collecting (the executor merges it back
-    into the parent's collector).
+    into the parent's collector).  ``profiles`` carries the profile
+    artefacts (BL drop profiles, WL calibrations) the task solved in a
+    pool worker; the executor absorbs them into the parent's
+    :data:`~repro.xpoint.vmap.profile_registry` so later tasks — and the
+    parent's own models — skip those solves.
     """
 
     index: int
@@ -142,36 +147,57 @@ class TaskResult:
     attempts: int = 1
     error: TaskError | None = None
     obs: "Snapshot | None" = None
+    profiles: "tuple | None" = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
 
+def _drain_profile_exports() -> "tuple | None":
+    """Profile artefacts this process solved since the last drain.
+
+    Checked via ``sys.modules`` rather than imported: a worker whose
+    tasks never touched the IR-drop stack must not pay for (or trigger)
+    the import, and an unimported vmap cannot have anything to ship.
+    """
+    vmap = sys.modules.get("repro.xpoint.vmap")
+    if vmap is None:
+        return None
+    return vmap.profile_registry.drain_exports() or None
+
+
 def _timed_call(
-    fn: Callable[[Any], Any], index: int, item: Any, collect: bool = False
+    fn: Callable[[Any], Any],
+    index: int,
+    item: Any,
+    collect: bool = False,
+    ship: bool = False,
 ) -> TaskResult:
     """Run one task under timing (top-level so it pickles to workers).
 
     ``collect`` is set by parallel executors when the parent process is
     collecting observability data: the task runs under a fresh local
     collector (worker processes do not share the parent's) whose
-    snapshot rides back on the :class:`TaskResult`.
+    snapshot rides back on the :class:`TaskResult`.  ``ship`` (pool
+    workers only) additionally drains the worker's profile-registry
+    exports onto the result so the parent can absorb them.
     """
     start = time.perf_counter()
-    if not collect:
+    if collect:
+        local = obs.Collector()
+        with obs.collecting(local):
+            value = fn(item)
+        snapshot = local.snapshot()
+    else:
         value = fn(item)
-        return TaskResult(
-            index=index, value=value, wall_s=time.perf_counter() - start
-        )
-    local = obs.Collector()
-    with obs.collecting(local):
-        value = fn(item)
+        snapshot = None
     return TaskResult(
         index=index,
         value=value,
         wall_s=time.perf_counter() - start,
-        obs=local.snapshot(),
+        obs=snapshot,
+        profiles=_drain_profile_exports() if ship else None,
     )
 
 
@@ -198,12 +224,21 @@ def _failed(index: int, exc: BaseException, attempts: int) -> TaskResult:
 
 
 def _note_batch(results: "list[TaskResult]") -> list[TaskResult]:
-    """Record batch-level executor counters and absorb worker snapshots.
+    """Record batch-level executor counters and absorb worker payloads.
 
-    Worker-side observability snapshots are merged into the parent's
-    active collector exactly once, here, whatever path produced the
-    results (pool drain, pool rebuild, or serial fallback).
+    Worker-side observability snapshots and shipped profile artefacts
+    are merged into the parent exactly once, here, whatever path
+    produced the results (pool drain, pool rebuild, or serial fallback).
     """
+    if any(result.profiles for result in results):
+        from ..xpoint.vmap import profile_registry
+
+        absorbed = 0
+        for result in results:
+            if result.profiles:
+                absorbed += profile_registry.absorb(result.profiles)
+        if absorbed:
+            obs.count("profile_cache.shipped", absorbed)
     collector = obs.active_collector()
     if collector is None:
         return results
@@ -338,7 +373,7 @@ class ParallelExecutor:
             max_workers=min(self.workers, len(items))
         ) as pool:
             futures = [
-                pool.submit(_timed_call, fn, i, item, collect)
+                pool.submit(_timed_call, fn, i, item, collect, True)
                 for i, item in enumerate(items)
             ]
             results = [future.result() for future in futures]
@@ -414,7 +449,7 @@ class ParallelExecutor:
                     index = queue.pop()
                     attempts[index] += 1
                     future = pool.submit(
-                        _timed_call, fn, index, items[index], collect
+                        _timed_call, fn, index, items[index], collect, True
                     )
                     in_flight[future] = index
                     if policy.timeout_s is not None:

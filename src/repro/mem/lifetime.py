@@ -60,10 +60,27 @@ class LifetimeReport:
 
 
 class LifetimeEstimator:
-    """Fig. 5b's lifetime metric for arbitrary schemes."""
+    """Fig. 5b's lifetime metric for arbitrary schemes.
 
-    def __init__(self, config: SystemConfig) -> None:
+    ``context`` (an engine :class:`~repro.engine.context.RunContext`)
+    threads the run's solver backend and profile store into the latency
+    tables; the tables themselves are memoised per scheme so
+    :meth:`min_endurance` and :meth:`write_cycle` share one build.
+    """
+
+    def __init__(self, config: SystemConfig, context=None) -> None:
         self.config = config
+        self.context = context
+        self._latency_models: dict[int, SchemeLatencyModel] = {}
+
+    def _latency_model(self, scheme: Scheme) -> SchemeLatencyModel:
+        model = self._latency_models.get(id(scheme))
+        if model is None:
+            model = SchemeLatencyModel(
+                self.config, scheme, context=self.context
+            )
+            self._latency_models[id(scheme)] = model
+        return model
 
     # -- components -------------------------------------------------------------
 
@@ -74,7 +91,7 @@ class LifetimeEstimator:
         cells down (raising their endurance), so the 1-bit map holds the
         fastest — most over-RESET — operating point of every cell.
         """
-        latency_model = SchemeLatencyModel(self.config, scheme)
+        latency_model = self._latency_model(scheme)
         ir = latency_model.ir_model
         v_matrix = scheme.regulator.matrix(ir)
         endurance = ir.endurance_map(v_matrix, n_bits=1, bias=scheme.bias)
@@ -85,7 +102,7 @@ class LifetimeEstimator:
 
     def write_cycle(self, scheme: Scheme) -> float:
         """Per-bank worst-case back-to-back write period (s)."""
-        latency_model = SchemeLatencyModel(self.config, scheme)
+        latency_model = self._latency_model(scheme)
         pump = self.config.pump
         charge = pump.t_charge * scheme.overheads.pump_charge_latency_factor
         return (

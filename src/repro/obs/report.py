@@ -13,7 +13,36 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .collector import Snapshot
 
-__all__ = ["format_profile"]
+__all__ = ["derived_ratios", "format_profile"]
+
+#: Ratio rows rendered under "derived": name -> (numerator, denominator).
+#: Factorisations per solve is the chord-Newton headline figure — the
+#: reference backend sits near its iteration count (~8) while the
+#: accelerated backends target <= 2 once warm.
+_RATIOS: "dict[str, tuple[str, str]]" = {
+    "solver.factorisations_per_solve": (
+        "solver.factorisations",
+        "solver.solves",
+    ),
+    "solver.newton_iterations_per_solve": (
+        "solver.newton_iterations",
+        "solver.solves",
+    ),
+}
+
+
+def derived_ratios(counters: "dict[str, float]") -> "dict[str, float]":
+    """Ratio metrics computable from raw counters (see :data:`_RATIOS`).
+
+    A ratio is emitted only when its denominator is present and nonzero,
+    so profiles from runs that never solved anything stay unchanged.
+    """
+    ratios: dict[str, float] = {}
+    for name, (numerator, denominator) in _RATIOS.items():
+        bottom = counters.get(denominator)
+        if bottom:
+            ratios[name] = counters.get(numerator, 0) / bottom
+    return ratios
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -66,6 +95,18 @@ def format_profile(snapshot: "Snapshot | dict") -> str:
                 title="counters",
             )
         )
+        ratios = derived_ratios(counters)
+        if ratios:
+            sections.append(
+                format_table(
+                    ("metric", "value"),
+                    [
+                        [name, f"{value:.2f}"]
+                        for name, value in sorted(ratios.items())
+                    ],
+                    title="derived",
+                )
+            )
     gauges = plain.get("gauges") or {}
     if gauges:
         sections.append(

@@ -231,10 +231,18 @@ class SchemeLatencyModel:
     points are charged :data:`WRITE_RETRY_LATENCY` instead of infinity.
     """
 
-    def __init__(self, config: SystemConfig, scheme: Scheme) -> None:
+    def __init__(
+        self, config: SystemConfig, scheme: Scheme, context=None
+    ) -> None:
         self.config = scheme.effective_config(config)
         self.scheme = scheme
-        self.ir_model = get_ir_model(self.config)
+        # An engine context supplies its solver-threaded, profile-cached
+        # nominal model; latency tables are a design-time calibration, so
+        # the model is fault-free either way.
+        if context is not None:
+            self.ir_model = context.nominal_ir_model(self.config)
+        else:
+            self.ir_model = get_ir_model(self.config)
         a = config.array.size
         width = config.array.data_width
         v_matrix = scheme.regulator.matrix(self.ir_model)

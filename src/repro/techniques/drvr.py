@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import SystemConfig
-from ..xpoint.vmap import get_ir_model
+from ..xpoint.vmap import ArrayIRModel, get_ir_model
 from .base import ChipOverheads, RowSectionRegulator, Scheme
 
 __all__ = ["drvr_levels", "make_drvr", "DRVR_OVERHEADS"]
@@ -39,6 +39,7 @@ def drvr_levels(
     config: SystemConfig,
     sections: int | None = None,
     iterations: int = 4,
+    model: "ArrayIRModel | None" = None,
 ) -> tuple[float, ...]:
     """Compute the per-section Vrst levels (lowest section first).
 
@@ -46,8 +47,14 @@ def drvr_levels(
     ``s`` so that every section starts at the nominal effective voltage;
     fixed-point iteration converges in two or three rounds because the
     leakage growth with voltage is mild.
+
+    ``model`` supplies the calibrated IR model for ``config`` (an engine
+    context passes its solver-threaded, profile-cached instance); by
+    default the shared module-level model is used.  Levels are a
+    design-time calibration, so the model must be fault-free.
     """
-    model = get_ir_model(config)
+    if model is None:
+        model = get_ir_model(config)
     a = config.array.size
     if sections is None:
         sections = config.array.drvr_sections
@@ -68,9 +75,13 @@ def drvr_levels(
     return tuple(float(v) for v in levels)
 
 
-def make_drvr(config: SystemConfig, sections: int | None = None) -> Scheme:
+def make_drvr(
+    config: SystemConfig,
+    sections: int | None = None,
+    model: "ArrayIRModel | None" = None,
+) -> Scheme:
     """Build the DRVR scheme for a configuration."""
-    levels = drvr_levels(config, sections)
+    levels = drvr_levels(config, sections, model=model)
     return Scheme(
         name="DRVR",
         regulator=RowSectionRegulator(levels),

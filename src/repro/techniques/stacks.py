@@ -70,14 +70,14 @@ def make_hard_sys(config: SystemConfig) -> Scheme:
     )
 
 
-def make_drvr_pr(config: SystemConfig) -> Scheme:
+def make_drvr_pr(config: SystemConfig, model=None) -> Scheme:
     """DRVR + PR without the UDRVR endurance fix (§IV-B's waypoint)."""
     from dataclasses import replace
 
     from .partition_reset import PartitionResetPartitioner
 
     return replace(
-        make_drvr(config),
+        make_drvr(config, model=model),
         name="DRVR+PR",
         partitioner=PartitionResetPartitioner(),
         reset_before_set=True,
@@ -89,6 +89,7 @@ def standard_schemes(
     config: SystemConfig,
     oracle_sections: tuple[int, ...] = (64, 128, 256),
     context: "RunContext | None" = None,
+    model=None,
 ) -> dict[str, Scheme]:
     """All schemes the evaluation section compares (name -> scheme).
 
@@ -96,6 +97,10 @@ def standard_schemes(
     the built registry on the context, keyed by the config hash, so
     composed figures and repeated runner constructions share one set of
     scheme objects (and their lazily built latency tables).
+
+    ``model`` is the calibrated fault-free IR model the level-solving
+    factories (DRVR/UDRVR families) calibrate against; the context path
+    supplies its own solver-threaded instance.
     """
     if context is not None:
         return context.schemes(config, tuple(oracle_sections))
@@ -103,10 +108,10 @@ def standard_schemes(
         "Base": make_baseline(config),
         "Hard": make_hard(config),
         "Hard+Sys": make_hard_sys(config),
-        "DRVR": make_drvr(config),
-        "DRVR+PR": make_drvr_pr(config),
-        "UDRVR+PR": make_udrvr_pr(config),
-        "UDRVR-3.94": make_udrvr_high_voltage(config),
+        "DRVR": make_drvr(config, model=model),
+        "DRVR+PR": make_drvr_pr(config, model=model),
+        "UDRVR+PR": make_udrvr_pr(config, model=model),
+        "UDRVR-3.94": make_udrvr_high_voltage(config, model=model),
         f"Static-{3.7:.2g}V": make_naive_high_voltage(config),
     }
     for m in oracle_sections:

@@ -55,6 +55,7 @@ def udrvr_col_deltas(
     config: SystemConfig,
     compensate_n_bits: int | None = None,
     target_n_bits: int | None = None,
+    model: "ArrayIRModel | None" = None,
 ) -> tuple[float, ...]:
     """Per-column-group Vrst adjustments (V).
 
@@ -68,8 +69,12 @@ def udrvr_col_deltas(
     lowered, curing their over-RESET) and the pump output stays at
     DRVR's 3.66 V.  UDRVR-3.94 compensates the 1-bit drop everywhere
     instead, which pushes the far group's level up to ~3.94 V.
+
+    ``model`` supplies the calibrated fault-free IR model for ``config``
+    (see :func:`~repro.techniques.drvr.drvr_levels`).
     """
-    model = get_ir_model(config)
+    if model is None:
+        model = get_ir_model(config)
     wl = model.wl_model
     width = config.array.data_width
     if target_n_bits is None:
@@ -84,10 +89,12 @@ def udrvr_col_deltas(
     return tuple(float(d - target_drop) for d in drops)
 
 
-def make_udrvr_pr(config: SystemConfig) -> Scheme:
+def make_udrvr_pr(
+    config: SystemConfig, model: "ArrayIRModel | None" = None
+) -> Scheme:
     """UDRVR + PR: the paper's headline scheme."""
-    row_levels = drvr_levels(config)
-    col_deltas = udrvr_col_deltas(config)
+    row_levels = drvr_levels(config, model=model)
+    col_deltas = udrvr_col_deltas(config, model=model)
     return Scheme(
         name="UDRVR+PR",
         regulator=MatrixRegulator(tuple(row_levels), col_deltas),
@@ -98,10 +105,12 @@ def make_udrvr_pr(config: SystemConfig) -> Scheme:
     )
 
 
-def make_udrvr_high_voltage(config: SystemConfig) -> Scheme:
+def make_udrvr_high_voltage(
+    config: SystemConfig, model: "ArrayIRModel | None" = None
+) -> Scheme:
     """UDRVR-3.94 (Fig. 17): voltage-only WL compensation, no PR."""
-    row_levels = drvr_levels(config)
-    col_deltas = udrvr_col_deltas(config, compensate_n_bits=1)
+    row_levels = drvr_levels(config, model=model)
+    col_deltas = udrvr_col_deltas(config, compensate_n_bits=1, model=model)
     return Scheme(
         name="UDRVR-3.94",
         regulator=MatrixRegulator(tuple(row_levels), col_deltas),

@@ -20,8 +20,8 @@ DRVR sections).
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import TYPE_CHECKING
+from collections import OrderedDict, deque
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -30,15 +30,88 @@ from ..circuit.cell import CellModel
 from ..circuit.crosspoint import BASELINE_BIAS, BiasScheme
 from ..circuit.equivalent import WordlineDropModel
 from ..circuit.line_model import ReducedArrayModel
+from ..circuit.network import ConvergenceError
 from ..config import SystemConfig, config_hash
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.model import FaultModel
 
-__all__ = ["ArrayIRModel", "ModelCache", "get_ir_model"]
+__all__ = [
+    "ArrayIRModel",
+    "ModelCache",
+    "ProfileRegistry",
+    "get_ir_model",
+    "profile_registry",
+]
 
 _PROFILE_SAMPLES = 13
 _VOLTAGE_QUANTUM = 0.02  # cache key resolution for applied voltages
+_SEED_QUANTA = 16  # continuation-seed store depth per bias scheme
+
+
+class ProfileRegistry:
+    """Process-wide registry of solved profile artefacts.
+
+    Entries are keyed by the same canonical part tuples the persistent
+    :class:`~repro.engine.cache.ProfileStore` uses — config hash, solver
+    name, fault token, and the artefact-specific tail (voltage quantum,
+    bias scheme) — so a profile solved by any :class:`ArrayIRModel` in
+    this process is visible to every later model with an equal key, even
+    across distinct :class:`ModelCache` instances.
+
+    The export buffer records entries first *computed* here (as opposed
+    to absorbed or loaded): pool workers drain it after each task so the
+    parent executor can ship worker-solved profiles back and absorb them
+    (see :mod:`repro.engine.executor`), closing the loop that otherwise
+    makes every worker re-solve the same profiles.
+    """
+
+    def __init__(self, maxsize: int = 512, max_exports: int = 256) -> None:
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._exports: deque[tuple[tuple, Any]] = deque(maxlen=max_exports)
+
+    def get(self, parts: tuple) -> Any:
+        value = self._entries.get(parts)
+        if value is not None:
+            self._entries.move_to_end(parts)
+        return value
+
+    def put(self, parts: tuple, value: Any, export: bool = True) -> None:
+        if parts in self._entries:
+            self._entries.move_to_end(parts)
+            return
+        self._entries[parts] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        if export:
+            self._exports.append((parts, value))
+
+    def drain_exports(self) -> tuple[tuple[tuple, Any], ...]:
+        """Hand over (and clear) the entries computed since last drain."""
+        exports = tuple(self._exports)
+        self._exports.clear()
+        return exports
+
+    def absorb(self, items: "tuple[tuple[tuple, Any], ...]") -> int:
+        """Merge shipped-back entries; absorbed entries never re-export."""
+        absorbed = 0
+        for parts, value in items:
+            if parts not in self._entries:
+                self.put(parts, value, export=False)
+                absorbed += 1
+        return absorbed
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._exports.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Per-process singleton (one per pool worker; the executor merges).
+profile_registry = ProfileRegistry()
 
 
 class ArrayIRModel:
@@ -74,6 +147,16 @@ class ArrayIRModel:
         # could land in distinct buckets and bloat the profile cache.
         self._bl_profiles: dict[tuple[int, BiasScheme], np.ndarray] = {}
         self._wl_model: WordlineDropModel | None = None
+        #: Persistent profile layer (a ``ProfileStore``), attached by the
+        #: engine's :class:`ModelCache` hookup; ``None`` = memory only.
+        self.profile_store = None
+        self._profile_tokens: tuple[str, str | None] | None = None
+        # Continuation seeds: per bias scheme, the node-voltage vectors
+        # of the most recently solved quanta (grid-row order), so the
+        # next quantum's Newton solves start next to their solution.
+        self._profile_seeds: dict[
+            BiasScheme, OrderedDict[int, list[np.ndarray]]
+        ] = {}
 
     def _fault_arrays(self) -> tuple:
         """(sa0, sa1, wl_factors, bl_factors, latency_factors), sampled once."""
@@ -87,26 +170,94 @@ class ArrayIRModel:
             )
         return self._fault_state
 
+    # -- persistent profile plumbing --------------------------------------------
+
+    def _profile_parts(self, kind: str, *extra: Any) -> tuple:
+        """Canonical key parts for one profile artefact.
+
+        The solver name is part of the key so the byte-locked
+        ``reference`` backend can never be served an artefact computed
+        by an accelerated backend (and vice versa); the fault token
+        keeps fault-sweep runs from aliasing the perfect-array entries.
+        """
+        if self._profile_tokens is None:
+            self._profile_tokens = (
+                config_hash(self.config),
+                None if self.faults is None else config_hash(self.faults),
+            )
+        cfg_token, faults_token = self._profile_tokens
+        return (kind, cfg_token, self.solver, faults_token, *extra)
+
+    def _persist(self, parts: tuple, value: Any) -> None:
+        """Write-through to the attached disk store (first write only)."""
+        store = self.profile_store
+        if store is not None and store.enabled and store.store(parts, value):
+            obs.count("profile_cache.disk_store")
+
+    def _lookup_artefact(self, parts: tuple) -> Any:
+        """Registry-then-disk lookup; validated by the caller.
+
+        A disk hit is promoted into the registry (without re-export); a
+        registry hit is lazily written through to the disk store, which
+        is how worker-shipped profiles reach the persistent layer.
+        """
+        value = profile_registry.get(parts)
+        if value is not None:
+            obs.count("profile_cache.registry_hit")
+            self._persist(parts, value)
+            return value
+        store = self.profile_store
+        if store is None or not store.enabled:
+            return None
+        value = store.load(parts)
+        if value is None:
+            return None
+        obs.count("profile_cache.disk_hit")
+        profile_registry.put(parts, value, export=False)
+        return value
+
     # -- calibration ------------------------------------------------------------
 
     @property
     def wl_model(self) -> WordlineDropModel:
-        """Word-line model, calibrated lazily against the reduced solver."""
+        """Word-line model, calibrated lazily against the reduced solver.
+
+        The calibration collapses to one float (the distributed sneak
+        current ``s``), which is shared through the profile registry and
+        the persistent store; a value that fails validation — wrong
+        type, non-finite, negative — is treated as a miss and
+        recalibrated live.
+        """
         if self._wl_model is None:
-            a = self.config.array.size
-            v_rst = self.config.cell.v_reset
-            with obs.span("calibrate.wl_model", array=a):
-                far_corner = self.reduced.solve_reset(a - 1, (a - 1,))
-                bl_drop_far = v_rst - self.reduced.solve_reset(
-                    a - 1, (0,)
-                ).v_eff[(a - 1, 0)]
-                wl_drop_far = (
-                    v_rst - far_corner.v_eff[(a - 1, a - 1)] - bl_drop_far
-                )
-                self._wl_model = WordlineDropModel.calibrate(
-                    self.config, max(0.0, wl_drop_far)
-                )
+            parts = self._profile_parts("wl-calibration")
+            sneak = self._lookup_artefact(parts)
+            if not isinstance(sneak, float) or not (
+                np.isfinite(sneak) and sneak >= 0.0
+            ):
+                if sneak is not None:
+                    obs.count("profile_cache.invalid")
+                sneak = self._calibrate_wl_sneak()
+                profile_registry.put(parts, sneak)
+                self._persist(parts, sneak)
+            self._wl_model = WordlineDropModel(self.config, sneak)
         return self._wl_model
+
+    def _calibrate_wl_sneak(self) -> float:
+        """Live calibration: two far-corner solves -> sneak current."""
+        a = self.config.array.size
+        v_rst = self.config.cell.v_reset
+        with obs.span("calibrate.wl_model", array=a):
+            far_corner = self.reduced.solve_reset(a - 1, (a - 1,))
+            bl_drop_far = v_rst - self.reduced.solve_reset(
+                a - 1, (0,)
+            ).v_eff[(a - 1, 0)]
+            wl_drop_far = (
+                v_rst - far_corner.v_eff[(a - 1, a - 1)] - bl_drop_far
+            )
+            model = WordlineDropModel.calibrate(
+                self.config, max(0.0, wl_drop_far)
+            )
+        return float(model.sneak_current)
 
     # -- bit-line profiles --------------------------------------------------------
 
@@ -117,7 +268,15 @@ class ArrayIRModel:
 
         Solved exactly on a sparse row grid (column 0, where the WL drop
         is negligible) and linearly interpolated; cached per quantised
-        voltage and bias scheme.
+        voltage and bias scheme.  Lookup order is in-memory memo, then
+        the process-wide :data:`profile_registry`, then the persistent
+        disk store, then a live solve (continuation-seeded from the
+        nearest already-solved voltage on accelerated backends).
+
+        The returned array is **read-only**: it is shared between every
+        caller of this quantum (and, through the registry and disk
+        layers, across models and processes), so an in-place mutation
+        would silently corrupt all of them.  Copy before editing.
         """
         a = self.config.array.size
         if v_applied is None:
@@ -129,24 +288,108 @@ class ArrayIRModel:
             obs.count("profile_cache.hit")
             return cached
         obs.count("profile_cache.miss")
+        parts = self._profile_parts(
+            "bl-profile", quantum, _VOLTAGE_QUANTUM, _PROFILE_SAMPLES, bias
+        )
+        profile = self._validated_profile(self._lookup_artefact(parts), a)
+        if profile is None:
+            profile = self._solve_profile(quantum, bias)
+            profile.setflags(write=False)
+            profile_registry.put(parts, profile)
+            self._persist(parts, profile)
+        self._bl_profiles[key] = profile
+        return profile
+
+    @staticmethod
+    def _validated_profile(value: Any, a: int) -> "np.ndarray | None":
+        """A shared/persisted profile, or ``None`` if it fails validation.
+
+        The disk envelope's checksum catches bit rot, but not a stale or
+        colliding entry that unpickles cleanly into the wrong shape —
+        those must read as a miss (recompute live), never as a crash or
+        a silently wrong map.
+        """
+        if value is None:
+            return None
+        if (
+            not isinstance(value, np.ndarray)
+            or value.shape != (a,)
+            or not np.all(np.isfinite(value))
+        ):
+            obs.count("profile_cache.invalid")
+            return None
+        profile = value.astype(float, copy=False)
+        profile.setflags(write=False)
+        return profile
+
+    def _solve_profile(self, quantum: int, bias: BiasScheme) -> np.ndarray:
+        """Live grid solve of one quantised voltage (with warm seeds)."""
+        a = self.config.array.size
         v_solve = quantum * _VOLTAGE_QUANTUM
         grid = np.unique(
             np.round(np.linspace(0, a - 1, min(_PROFILE_SAMPLES, a))).astype(int)
         )
+        selections = [(int(row), (0,)) for row in grid]
+        seeds = self._continuation_seeds(quantum, bias, len(selections))
         with obs.span("solve.profile", array=a):
             # One batch covers the whole grid: backends that stack
             # solves (``batched``) factorise once per Newton iteration
             # for all sample rows instead of once per row.
-            solutions = self.reduced.solve_reset_many(
-                [(int(row), (0,)) for row in grid], v_solve, bias
-            )
+            try:
+                pairs = self.reduced.solve_reset_batch(
+                    selections, v_solve, bias, initials=seeds
+                )
+            except ConvergenceError:
+                if seeds is None:
+                    raise
+                # The backends already retry a failed seeded solve from
+                # a cold start; an error surfacing here means even that
+                # failed, so the guaranteed fallback is one more fully
+                # unseeded batch before giving up.
+                obs.count("profile_cache.seed_fallbacks")
+                pairs = self.reduced.solve_reset_batch(selections, v_solve, bias)
+            # Drops are measured against the *quantised* solve voltage,
+            # keeping the profile a pure function of its cache key: two
+            # raw voltages landing in the same bucket must produce the
+            # same bytes, or the registry/disk layers would serve
+            # whichever caller happened to fill the bucket first.
             drops = [
-                v_applied - solution.v_eff[(int(row), 0)]
-                for row, solution in zip(grid, solutions)
+                v_solve - solution.v_eff[(int(row), 0)]
+                for row, (solution, _voltages) in zip(grid, pairs)
             ]
-        profile = np.interp(np.arange(a), grid, np.asarray(drops))
-        self._bl_profiles[key] = profile
-        return profile
+        self._remember_seeds(quantum, bias, [v for _sol, v in pairs])
+        return np.interp(np.arange(a), grid, np.asarray(drops))
+
+    def _continuation_seeds(
+        self, quantum: int, bias: BiasScheme, count: int
+    ) -> "list[np.ndarray] | None":
+        """Node-voltage seeds from the nearest already-solved quantum.
+
+        The ``reference`` backend must never be seeded: its payloads are
+        byte-locked to the cold flat-start Newton trajectory.
+        """
+        if self.solver == "reference":
+            return None
+        store = self._profile_seeds.get(bias)
+        if not store:
+            return None
+        nearest = min(store, key=lambda q: abs(q - quantum))
+        seeds = store[nearest]
+        if len(seeds) != count:
+            return None
+        obs.count("profile_cache.continuation_seeds")
+        return [seed.copy() for seed in seeds]
+
+    def _remember_seeds(
+        self, quantum: int, bias: BiasScheme, voltages: "list[np.ndarray]"
+    ) -> None:
+        if self.solver == "reference":
+            return
+        store = self._profile_seeds.setdefault(bias, OrderedDict())
+        store[quantum] = [np.array(v, dtype=float) for v in voltages]
+        store.move_to_end(quantum)
+        while len(store) > _SEED_QUANTA:
+            store.popitem(last=False)
 
     # -- point queries --------------------------------------------------------------
 
@@ -356,8 +599,14 @@ class ModelCache:
         config: SystemConfig,
         faults: "FaultModel | None" = None,
         solver: str | None = None,
+        profile_store=None,
     ) -> ArrayIRModel:
-        """The cached model for ``(config, faults, solver)``."""
+        """The cached model for ``(config, faults, solver)``.
+
+        ``profile_store`` (a :class:`~repro.engine.cache.ProfileStore`)
+        attaches the persistent profile layer; it is (re-)attached on
+        hits too, so a model built before the store existed gains it.
+        """
         if faults is not None and faults.is_null:
             faults = None
         key = self._key(config, faults, solver)
@@ -365,9 +614,13 @@ class ModelCache:
         if model is not None:
             obs.count("model_cache.hit")
             self._entries.move_to_end(key)
+            if profile_store is not None:
+                model.profile_store = profile_store
             return model
         obs.count("model_cache.miss")
         model = ArrayIRModel(config, faults=faults, solver=solver)
+        if profile_store is not None:
+            model.profile_store = profile_store
         self._insert(key, model)
         return model
 

@@ -17,6 +17,21 @@ from repro.config import default_config
 ALL_SOLVERS = ("reference", "factor-cache", "batched")
 
 
+@pytest.fixture(autouse=True)
+def _isolated_profile_registry():
+    """Empty the process-wide profile registry before every test.
+
+    The registry deliberately shares solved profiles across models and
+    experiments within one process; between tests that sharing would
+    leak state (a later test silently consuming an earlier test's
+    solves), so each test starts from a clean registry.
+    """
+    from repro.xpoint.vmap import profile_registry
+
+    profile_registry.clear()
+    yield
+
+
 @pytest.fixture(scope="session")
 def tiny_config():
     """16x16 array: fast enough for exact full-network solves."""

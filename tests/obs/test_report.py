@@ -3,6 +3,7 @@
 from repro import obs
 from repro.obs import format_profile
 from repro.obs.collector import Collector
+from repro.obs.report import derived_ratios
 
 
 def _snapshot():
@@ -43,3 +44,40 @@ class TestFormatProfile:
 
     def test_module_export(self):
         assert obs.format_profile is format_profile
+
+    def test_derived_section_renders_factorisation_ratio(self):
+        collector = Collector()
+        collector.count("solver.factorisations", 5)
+        collector.count("solver.solves", 4)
+        text = format_profile(collector.snapshot())
+        assert "derived" in text
+        assert "solver.factorisations_per_solve" in text
+        assert "1.25" in text
+
+    def test_no_derived_section_without_solver_counters(self):
+        text = format_profile(_snapshot())
+        assert "derived" not in text
+
+
+class TestDerivedRatios:
+    def test_ratios_computed_from_counters(self):
+        ratios = derived_ratios(
+            {
+                "solver.factorisations": 6,
+                "solver.newton_iterations": 48,
+                "solver.solves": 24,
+            }
+        )
+        assert ratios["solver.factorisations_per_solve"] == 0.25
+        assert ratios["solver.newton_iterations_per_solve"] == 2.0
+
+    def test_missing_numerator_reads_as_zero(self):
+        ratios = derived_ratios({"solver.solves": 8})
+        assert ratios["solver.factorisations_per_solve"] == 0.0
+
+    def test_zero_or_missing_denominator_emits_nothing(self):
+        assert derived_ratios({"solver.factorisations": 6}) == {}
+        assert (
+            derived_ratios({"solver.factorisations": 6, "solver.solves": 0})
+            == {}
+        )

@@ -1,0 +1,95 @@
+"""Unit coverage for the bench harness's compare/regression gate.
+
+The timing entry points are exercised by CI's ``--quick`` smoke run;
+here the pure functions — the cross-document speedup table and its
+``--fail-over`` regression gate — are pinned against synthetic
+documents so gate behaviour never depends on wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "scripts" / "bench.py"
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench", _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _entry(name, wall_s, solver="factor-cache", factorisations=None):
+    counters = {"solver.solves": 10}
+    if factorisations is not None:
+        counters["solver.factorisations"] = factorisations
+    return {
+        "experiment": name,
+        "solver": solver,
+        "wall_s": wall_s,
+        "peak_rss_bytes": 200 * 2**20,
+        "counters": counters,
+        "spans": {},
+    }
+
+
+def _document(entries, schema=3):
+    return {"schema": schema, "date": "2026-08-06", "entries": entries}
+
+
+class TestCompare:
+    def test_speedup_table_and_pass(self, bench, capsys):
+        old = _document(
+            [_entry("fig13", 9.0, solver="reference", factorisations=4000)]
+        )
+        new = _document([_entry("fig13", 3.0, factorisations=900)])
+        assert bench.compare(old, new, fail_over=1.5) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert "3.00x" in out
+        assert "4000 -> 900" in out
+        assert "[reference -> factor-cache]" in out
+        assert "OK" in out
+
+    def test_regression_beyond_threshold_fails(self, bench, capsys):
+        old = _document([_entry("fig04", 1.0)])
+        new = _document([_entry("fig04", 2.0)])
+        assert bench.compare(old, new, fail_over=1.5) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "FAIL" in captured.err
+        assert "fig04" in captured.err
+
+    def test_slowdown_within_threshold_passes(self, bench):
+        old = _document([_entry("fig04", 1.0)])
+        new = _document([_entry("fig04", 1.4)])
+        assert bench.compare(old, new, fail_over=1.5) == 0
+
+    def test_no_fail_over_never_gates(self, bench, capsys):
+        old = _document([_entry("fig04", 1.0)])
+        new = _document([_entry("fig04", 50.0)])
+        assert bench.compare(old, new, fail_over=None) == 0
+        assert "REGRESSION" not in capsys.readouterr().out
+
+    def test_new_experiment_without_baseline_is_reported(self, bench, capsys):
+        old = _document([])
+        new = _document([_entry("fig14", 2.0)])
+        assert bench.compare(old, new, fail_over=1.5) == 0
+        assert "fig14" in capsys.readouterr().out
+
+    def test_schema2_baseline_without_solver_field(self, bench, capsys):
+        # The committed schema-2 baseline predates per-entry solver
+        # tags: compare must treat those entries as reference-backend
+        # measurements, not crash.
+        old_entry = _entry("fig13", 9.2, factorisations=None)
+        del old_entry["solver"]
+        new = _document([_entry("fig13", 2.0, factorisations=800)])
+        assert bench.compare(_document([old_entry], schema=2), new, 1.5) == 0
+        assert "[reference -> factor-cache]" in capsys.readouterr().out

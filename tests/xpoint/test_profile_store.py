@@ -1,0 +1,237 @@
+"""Profile sharing layers: registry, persistent store, ship-back, seeds.
+
+``ArrayIRModel`` resolves a BL drop profile through four layers — the
+per-model memo, the process-wide :data:`profile_registry`, the
+checksummed disk :class:`~repro.engine.cache.ProfileStore`, and finally
+a live (continuation-seeded) solve.  These tests pin the lookup order,
+the validation that guards every shared layer, the corruption fallback
+inherited from :class:`~repro.engine.cache.ResultCache`, and the
+executor ship-back that returns worker-solved profiles to the parent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.circuit.crosspoint import BASELINE_BIAS
+from repro.config import default_config
+from repro.engine.cache import NullCache, ProfileStore, ResultCache
+from repro.engine.context import RunContext
+from repro.engine.executor import ParallelExecutor
+from repro.xpoint.vmap import ArrayIRModel, profile_registry
+
+#: Seeded (continuation) and cold solves may land on different points
+#: inside the Newton tolerance: the cold stopping point sits wherever
+#: the residual first dips under 1e-10, up to ~1e-6 V from the true
+#: solution, while seeded solves land essentially on it.  Profiles are
+#: therefore compared at the microvolt level, far below any physics.
+SEED_ATOL = 2e-6
+
+
+def _collected(fn):
+    """Run ``fn`` under a fresh collector; return (result, counters)."""
+    collector = obs.Collector()
+    with obs.collecting(collector):
+        result = fn()
+    return result, (collector.snapshot().to_plain().get("counters") or {})
+
+
+def _model(solver="factor-cache", size=32, store=None):
+    model = ArrayIRModel(default_config(size=size), solver=solver)
+    model.profile_store = store
+    return model
+
+
+class TestReadonlyProfiles:
+    def test_profile_is_readonly_and_mutation_raises(self):
+        profile = _model().bl_drop_profile(3.3)
+        assert profile.flags.writeable is False
+        with pytest.raises(ValueError):
+            profile[0] = 99.0
+
+    def test_memo_returns_same_readonly_object(self):
+        model = _model()
+        first = model.bl_drop_profile(3.3)
+        # 165 * 0.02 != 3.3 in floats; integer quantisation must bucket
+        # them together (profile purity: one bucket, one byte pattern).
+        second = model.bl_drop_profile(165 * 0.02)
+        assert second is first
+
+
+class TestProcessRegistry:
+    def test_second_model_reuses_first_models_profile(self):
+        first = _model().bl_drop_profile(3.3)
+        second, counters = _collected(lambda: _model().bl_drop_profile(3.3))
+        assert second is first  # shared through the registry, not re-solved
+        assert counters.get("profile_cache.registry_hit") == 1
+        assert "solver.solves" not in counters  # served, not re-solved
+
+    def test_registry_is_solver_keyed(self):
+        reference = _model(solver="reference").bl_drop_profile(3.3)
+        _, counters = _collected(
+            lambda: _model(solver="factor-cache").bl_drop_profile(3.3)
+        )
+        # The byte-locked reference artefact must not be served to an
+        # accelerated backend: the factor-cache model solves live.
+        assert "profile_cache.registry_hit" not in counters
+        assert counters.get("profile_cache.miss") == 1
+        assert reference is not None
+
+
+class TestContinuationSeeds:
+    def test_accelerated_solves_are_seeded_from_nearest_quantum(self):
+        model = _model()
+        model.bl_drop_profile(3.3)
+        _, counters = _collected(lambda: model.bl_drop_profile(3.2))
+        assert counters.get("profile_cache.continuation_seeds") == 1
+
+    def test_reference_backend_is_never_seeded(self):
+        model = _model(solver="reference")
+        model.bl_drop_profile(3.3)
+        _, counters = _collected(lambda: model.bl_drop_profile(3.2))
+        assert "profile_cache.continuation_seeds" not in counters
+
+    def test_seeded_profile_matches_cold_profile(self):
+        model = _model()
+        model.bl_drop_profile(3.3)
+        seeded = model.bl_drop_profile(3.2)
+
+        profile_registry.clear()
+        cold = _model().bl_drop_profile(3.2)
+        np.testing.assert_allclose(seeded, cold, rtol=0.0, atol=SEED_ATOL)
+
+
+class TestPersistentStore:
+    def test_round_trip_across_processes_simulated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stored, counters = _collected(
+            lambda: _model(store=ProfileStore(cache)).bl_drop_profile(3.3)
+        )
+        assert counters.get("profile_cache.disk_store") == 1
+
+        # A "new process": empty registry, fresh store over the same dir.
+        profile_registry.clear()
+        loaded, counters = _collected(
+            lambda: _model(store=ProfileStore(cache)).bl_drop_profile(3.3)
+        )
+        assert counters.get("profile_cache.disk_hit") == 1
+        assert "solver.solves" not in counters
+        np.testing.assert_array_equal(loaded, stored)
+        assert loaded.flags.writeable is False
+
+    def test_registry_hit_is_written_through_once(self, tmp_path):
+        store = ProfileStore(ResultCache(tmp_path))
+        _model().bl_drop_profile(3.3)  # registry only — no store attached
+
+        def lookup():
+            return _model(store=store).bl_drop_profile(3.3)
+
+        _, counters = _collected(lookup)
+        assert counters.get("profile_cache.disk_store") == 1
+        _, counters = _collected(lookup)
+        assert "profile_cache.disk_store" not in counters  # already on disk
+
+    def test_wl_calibration_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first, counters = _collected(
+            lambda: _model(store=ProfileStore(cache)).wl_model
+        )
+        assert counters.get("profile_cache.disk_store") == 1
+
+        profile_registry.clear()
+        second, counters = _collected(
+            lambda: _model(store=ProfileStore(cache)).wl_model
+        )
+        assert counters.get("profile_cache.disk_hit") == 1
+        assert "solver.solves" not in counters
+        assert second.sneak_current == first.sneak_current
+
+    def test_corrupted_entry_quarantines_and_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        expected = _model(store=ProfileStore(cache)).bl_drop_profile(3.3)
+        entries = list(tmp_path.glob("*.pkl"))
+        assert len(entries) == 1
+        entries[0].write_bytes(entries[0].read_bytes()[:48])  # truncate
+
+        profile_registry.clear()
+        fresh_cache = ResultCache(tmp_path)
+        recomputed, counters = _collected(
+            lambda: _model(store=ProfileStore(fresh_cache)).bl_drop_profile(3.3)
+        )
+        assert fresh_cache.quarantined == 1
+        assert list(tmp_path.glob("quarantine/*.pkl"))
+        assert "profile_cache.disk_hit" not in counters
+        np.testing.assert_allclose(
+            recomputed, expected, rtol=0.0, atol=SEED_ATOL
+        )
+
+    def test_wrong_shape_payload_reads_as_miss(self, tmp_path):
+        # An entry that unpickles cleanly but holds the wrong artefact
+        # (stale key collision, cross-version drift) must be rejected by
+        # validation and recomputed — never crash or corrupt a map.
+        cache = ResultCache(tmp_path)
+        model = _model(store=ProfileStore(cache))
+        quantum = int(round(3.3 / 0.02))
+        parts = model._profile_parts("bl-profile", quantum, 0.02, 13, BASELINE_BIAS)
+        ProfileStore(cache).store(parts, np.zeros(3))  # wrong shape
+
+        profile, counters = _collected(lambda: model.bl_drop_profile(3.3))
+        assert counters.get("profile_cache.invalid") == 1
+        assert profile.shape == (model.config.array.size,)
+
+    def test_invalid_wl_calibration_is_recalibrated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        model = _model(store=ProfileStore(cache))
+        ProfileStore(cache).store(
+            model._profile_parts("wl-calibration"), float("nan")
+        )
+        wl, counters = _collected(lambda: model.wl_model)
+        assert counters.get("profile_cache.invalid") == 1
+        assert np.isfinite(wl.sneak_current) and wl.sneak_current >= 0.0
+
+    def test_null_cache_disables_persistence(self):
+        store = ProfileStore(NullCache())
+        assert store.enabled is False
+        _, counters = _collected(
+            lambda: _model(store=store).bl_drop_profile(3.3)
+        )
+        assert "profile_cache.disk_store" not in counters
+
+    def test_run_context_attaches_store_to_models(self, tmp_path):
+        context = RunContext(
+            config=default_config(size=16), cache=ResultCache(tmp_path)
+        )
+        assert isinstance(context.profile_store, ProfileStore)
+        assert context.ir_model().profile_store is context.profile_store
+
+    def test_run_context_without_cache_has_no_store(self):
+        assert RunContext(config=default_config(size=16)).profile_store is None
+
+
+def _solve_profile_in_worker(v_applied):
+    """Pool task: solve one BL profile inside a worker process."""
+    from repro.config import default_config
+    from repro.xpoint.vmap import ArrayIRModel
+
+    model = ArrayIRModel(default_config(size=16), solver="factor-cache")
+    return float(model.bl_drop_profile(v_applied)[0])
+
+
+class TestExecutorShipBack:
+    def test_worker_profiles_reach_parent_registry(self):
+        def run():
+            return ParallelExecutor(2).map(
+                _solve_profile_in_worker, [3.3, 3.2]
+            )
+
+        results, counters = _collected(run)
+        assert [r.error for r in results] == [None, None]
+        assert any(r.profiles for r in results)
+        assert counters.get("profile_cache.shipped", 0) >= 2
+        assert len(profile_registry) >= 2
+
+        # The shipped profiles satisfy later lookups without a solve.
+        _, counters = _collected(lambda: _model(size=16).bl_drop_profile(3.3))
+        assert counters.get("profile_cache.registry_hit") == 1
