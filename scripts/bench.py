@@ -27,6 +27,11 @@ Before each timed entry all cross-solve solver state (structure/LU
 caches, warm starts) and the process-wide profile registry are reset,
 so entries stay independent of matrix order.
 
+Schema 4 adds a ``service_matrix``: the same experiment requested
+concurrently through the ``repro serve`` request/compute planes
+(requests/s, p50/p99 latency, coalesce ratio) against a serialized
+one-shot baseline that resets all warm state between requests.
+
 ``--compare OLD.json`` prints a speedup table (wall time, peak RSS,
 factorisation counts) of this run against a previous document and, with
 ``--fail-over R``, exits non-zero if any shared experiment got more
@@ -69,7 +74,15 @@ SOLVER_SWEEP_VOLTAGES = (3.0, 3.1, 3.2, 3.3)
 #: Matrix entries are timed under this backend unless overridden.
 DEFAULT_MATRIX_SOLVER = "factor-cache"
 
-SCHEMA = 3
+#: Service-matrix workload: concurrent requests for this experiment,
+#: distinct seeds, measured against serialized one-shot invocations.
+SERVICE_EXPERIMENT = "fig11a"
+SERVICE_REQUESTS = 8
+SERVICE_WORKERS = 4
+
+#: v4: adds ``service_matrix`` (concurrent request throughput through
+#: the ``repro serve`` planes vs serialized one-shot runs).
+SCHEMA = 4
 
 
 def _reset_shared_state() -> None:
@@ -189,8 +202,118 @@ def run_solver_matrix() -> list[dict]:
     return entries
 
 
+def _latency_stats(latencies: list[float], wall_s: float) -> dict:
+    """Throughput + latency percentiles of one saturation run."""
+    ordered = sorted(latencies)
+    p99_index = max(0, -(-99 * len(ordered) // 100) - 1)  # ceil, 1-based
+    return {
+        "wall_s": round(wall_s, 6),
+        "requests_per_s": round(len(ordered) / wall_s, 3) if wall_s else 0.0,
+        "p50_s": round(ordered[len(ordered) // 2], 6),
+        "p99_s": round(ordered[p99_index], 6),
+    }
+
+
+def run_service_matrix() -> dict:
+    """Concurrent service throughput vs serialized one-shot invocations.
+
+    The serialized baseline emulates today's workflow — one CLI
+    invocation per request, nothing warm between them: shared solver
+    state, the profile registry and warm contexts are dropped before
+    *each* request and every request gets a fresh model cache.  The
+    service side drives the same requests concurrently through the
+    in-process request plane (admission, deadline machinery, thread-pool
+    compute, solve coalescer), where warm contexts and coalesced solves
+    amortise work across the stream.
+    """
+    import asyncio
+
+    from repro.engine.service import EngineService, ServeOptions
+    from repro.engine.warm import clear_warm_contexts
+
+    name = SERVICE_EXPERIMENT
+    seeds = list(range(SERVICE_REQUESTS))
+
+    clear_warm_contexts()
+    latencies = []
+    serial_start = time.perf_counter()
+    for seed in seeds:
+        _reset_shared_state()
+        clear_warm_contexts()
+        context = RunContext(
+            seed=seed, model_cache=ModelCache(), solver=DEFAULT_MATRIX_SOLVER
+        )
+        start = time.perf_counter()
+        run_experiment(name, context)
+        latencies.append(time.perf_counter() - start)
+    serialized_wall = time.perf_counter() - serial_start
+    serialized = _latency_stats(latencies, serialized_wall)
+
+    _reset_shared_state()
+    clear_warm_contexts()
+
+    async def drive() -> tuple[list[float], float, dict]:
+        service = EngineService(
+            ServeOptions(
+                cache_dir=None,
+                compute_workers=SERVICE_WORKERS,
+                solver=DEFAULT_MATRIX_SOLVER,
+            )
+        )
+        try:
+            request_latencies = [0.0] * len(seeds)
+
+            async def one(index: int, seed: int) -> None:
+                start = time.perf_counter()
+                doc = await service.submit(
+                    {"op": "run", "experiment": name, "seed": seed}
+                )
+                if not doc.get("ok"):
+                    raise RuntimeError(f"service request failed: {doc}")
+                request_latencies[index] = time.perf_counter() - start
+
+            start = time.perf_counter()
+            await asyncio.gather(
+                *(one(i, seed) for i, seed in enumerate(seeds))
+            )
+            wall = time.perf_counter() - start
+            stats = service.stats()
+        finally:
+            await service.close(drain=True)
+        return request_latencies, wall, stats
+
+    request_latencies, service_wall, stats = asyncio.run(drive())
+    service_stats = _latency_stats(request_latencies, service_wall)
+    service_stats["coalesce_ratio"] = stats.get("coalesce_ratio", 1.0)
+    speedup = round(serialized_wall / service_wall, 3) if service_wall else 0.0
+    print(
+        f"service:   {SERVICE_REQUESTS} x {name} serialized "
+        f"{serialized_wall:7.3f}s -> concurrent {service_wall:7.3f}s "
+        f"({speedup:.2f}x, coalesce ratio "
+        f"{service_stats['coalesce_ratio']:.2f})",
+        flush=True,
+    )
+    return {
+        "workload": (
+            f"{SERVICE_REQUESTS} concurrent '{name}' requests (distinct "
+            "seeds) through the request/compute planes vs serialized "
+            "one-shot invocations"
+        ),
+        "experiment": name,
+        "requests": SERVICE_REQUESTS,
+        "compute_workers": SERVICE_WORKERS,
+        "solver": DEFAULT_MATRIX_SOLVER,
+        "serialized": serialized,
+        "service": service_stats,
+        "speedup_vs_serialized": speedup,
+    }
+
+
 def build_document(
-    entries: list[dict], solver_entries: list[dict], quick: bool
+    entries: list[dict],
+    solver_entries: list[dict],
+    service_matrix: dict,
+    quick: bool,
 ) -> dict:
     return {
         "schema": SCHEMA,
@@ -209,6 +332,7 @@ def build_document(
             ),
             "entries": solver_entries,
         },
+        "service_matrix": service_matrix,
         "totals": {
             "experiments": len(entries),
             "wall_s": round(sum(e["wall_s"] for e in entries), 6),
@@ -227,7 +351,7 @@ def validate(document: dict) -> None:
     check(isinstance(document, dict), "top level must be an object")
     expected = {
         "schema", "date", "host", "version", "quick", "entries",
-        "solver_matrix", "totals",
+        "solver_matrix", "service_matrix", "totals",
     }
     check(set(document) == expected, f"top-level keys must be {sorted(expected)}")
     check(document["schema"] == SCHEMA, f"schema must be {SCHEMA}")
@@ -316,6 +440,52 @@ def validate(document: dict) -> None:
     check(
         abs(reference["speedup_vs_reference"] - 1.0) < 0.01,
         "the reference backend's speedup must be ~1.0",
+    )
+    service_matrix = document["service_matrix"]
+    service_keys = {
+        "workload", "experiment", "requests", "compute_workers", "solver",
+        "serialized", "service", "speedup_vs_serialized",
+    }
+    check(
+        isinstance(service_matrix, dict) and set(service_matrix) == service_keys,
+        f"service_matrix keys must be {sorted(service_keys)}",
+    )
+    check(
+        isinstance(service_matrix["requests"], int)
+        and service_matrix["requests"] > 0,
+        "service_matrix.requests must be a positive integer",
+    )
+    check(
+        service_matrix["solver"] in available_solvers(),
+        "service_matrix.solver must be a registered backend",
+    )
+    for mode in ("serialized", "service"):
+        mode_stats = service_matrix[mode]
+        mode_keys = {"wall_s", "requests_per_s", "p50_s", "p99_s"}
+        if mode == "service":
+            mode_keys.add("coalesce_ratio")
+        check(
+            isinstance(mode_stats, dict) and set(mode_stats) == mode_keys,
+            f"service_matrix.{mode} keys must be {sorted(mode_keys)}",
+        )
+        for field in mode_keys:
+            check(
+                isinstance(mode_stats[field], (int, float))
+                and mode_stats[field] >= 0,
+                f"service_matrix.{mode}.{field} must be a non-negative number",
+            )
+        check(
+            mode_stats["p50_s"] <= mode_stats["p99_s"],
+            f"service_matrix.{mode}: p50 must not exceed p99",
+        )
+    check(
+        service_matrix["service"]["coalesce_ratio"] >= 1.0,
+        "coalesce_ratio is jobs per backend call and cannot go below 1",
+    )
+    check(
+        isinstance(service_matrix["speedup_vs_serialized"], (int, float))
+        and service_matrix["speedup_vs_serialized"] > 0,
+        "speedup_vs_serialized must be a positive number",
     )
     totals = document["totals"]
     check(
@@ -459,7 +629,10 @@ def main(argv: list[str] | None = None) -> int:
     _warm_process()
     entries = run_matrix(matrix, args.matrix_solver)
     solver_entries = run_solver_matrix()
-    document = build_document(entries, solver_entries, quick=args.quick)
+    service_matrix = run_service_matrix()
+    document = build_document(
+        entries, solver_entries, service_matrix, quick=args.quick
+    )
     validate(document)  # never emit a document the validator rejects
     out = pathlib.Path(
         args.out

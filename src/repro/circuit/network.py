@@ -272,9 +272,10 @@ class Network:
             ``reference`` backend, the seed-exact per-solve path.  See
             :mod:`repro.circuit.solvers`.
         """
-        from .solvers import get_backend
+        from .solvers import dispatch_solve
 
-        return get_backend(backend).solve(
+        return dispatch_solve(
+            backend,
             self,
             initial=initial,
             tol=tol,

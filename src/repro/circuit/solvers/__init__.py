@@ -35,6 +35,8 @@ Numerical contract: ``reference`` is exact legacy behaviour;
 
 from __future__ import annotations
 
+import threading
+
 from .base import SolverBackend
 from .batched import BatchedBackend
 from .factor_cache import FactorCacheBackend
@@ -46,10 +48,15 @@ __all__ = [
     "FactorCacheBackend",
     "BatchedBackend",
     "DEFAULT_SOLVER",
+    "active_coalescer",
     "available_solvers",
+    "dispatch_solve",
+    "dispatch_solve_many",
     "get_backend",
+    "install_coalescer",
     "reset_backend_state",
     "solver_name",
+    "uninstall_coalescer",
 ]
 
 DEFAULT_SOLVER = "reference"
@@ -104,6 +111,112 @@ def reset_backend_state() -> None:
         cache = getattr(instance, "cache", None)
         if cache is not None:
             cache.clear()
+
+
+#: The installed cross-request solve coalescer, or ``None``.  Installed
+#: by the service's thread-pool compute plane for its lifetime; batch
+#: runs never install one, so their solve paths are untouched.
+_COALESCER = None
+_COALESCER_LOCK = threading.Lock()
+
+
+def active_coalescer():
+    """The installed :class:`~repro.circuit.solvers.coalesce.SolveCoalescer`."""
+    return _COALESCER
+
+
+def install_coalescer(coalescer) -> None:
+    """Route subsequent dispatched solves through ``coalescer``.
+
+    Installation is refcount-free and exclusive: installing over a
+    *different* live coalescer raises, because two dispatchers would
+    silently split the merge window.
+    """
+    global _COALESCER
+    with _COALESCER_LOCK:
+        if _COALESCER is not None and _COALESCER is not coalescer:
+            raise RuntimeError("a different solve coalescer is already installed")
+        _COALESCER = coalescer
+
+
+def uninstall_coalescer(coalescer) -> None:
+    """Remove ``coalescer`` if it is the installed one (idempotent)."""
+    global _COALESCER
+    with _COALESCER_LOCK:
+        if _COALESCER is coalescer:
+            _COALESCER = None
+
+
+def dispatch_solve_many(
+    solver: "str | SolverBackend | None",
+    networks,
+    initials=None,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+    v_step_limit: float = 0.25,
+):
+    """Solve a batch through the coalescer when one is installed.
+
+    Without a coalescer this is exactly ``get_backend(...).solve_many``;
+    with one, the batch is submitted to the dispatcher thread, where it
+    may merge with batches from concurrent requests whose sparsity
+    signatures match.  The coalescer's own dispatcher calls backends
+    directly, so dispatched solves never re-enter the queue.
+    """
+    coalescer = _COALESCER
+    # Explicit backend *instances* bypass the coalescer: its dispatcher
+    # resolves names to the process singletons, which may not be the
+    # instance the caller handed in (tests pass purpose-built backends).
+    if coalescer is None or isinstance(solver, SolverBackend):
+        return get_backend(solver).solve_many(
+            networks,
+            initials=initials,
+            tol=tol,
+            max_iterations=max_iterations,
+            v_step_limit=v_step_limit,
+        )
+    return coalescer.solve_many(
+        solver_name(solver),
+        networks,
+        initials=initials,
+        tol=tol,
+        max_iterations=max_iterations,
+        v_step_limit=v_step_limit,
+    )
+
+
+def dispatch_solve(
+    solver: "str | SolverBackend | None",
+    network,
+    initial=None,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+    v_step_limit: float = 0.25,
+):
+    """Single-network :func:`dispatch_solve_many` convenience.
+
+    Preserves the exact historical path — ``backend.solve`` — when no
+    coalescer is installed, so byte-locked reference payloads cannot
+    shift. With a coalescer, the solve is funnelled through the
+    dispatcher thread like any batch (reference's ``solve_many`` is a
+    sequential loop, so results stay byte-identical there too).
+    """
+    if _COALESCER is None or isinstance(solver, SolverBackend):
+        return get_backend(solver).solve(
+            network,
+            initial=initial,
+            tol=tol,
+            max_iterations=max_iterations,
+            v_step_limit=v_step_limit,
+        )
+    return dispatch_solve_many(
+        solver,
+        [network],
+        initials=None if initial is None else [initial],
+        tol=tol,
+        max_iterations=max_iterations,
+        v_step_limit=v_step_limit,
+    )[0]
 
 
 def solver_name(solver: "str | SolverBackend | None") -> str:

@@ -1,0 +1,276 @@
+"""Cross-request solve coalescing: merge concurrent ``solve_many`` calls.
+
+The service's compute plane runs one experiment request per worker
+thread.  Each request independently reaches the same hot path —
+BL-profile grid solves through
+:meth:`~repro.circuit.line_model.ReducedArrayModel.solve_reset_batch` —
+and each call alone only batches *its own* grid rows.  The
+:class:`SolveCoalescer` sits between those callers and the backend
+singletons: submissions block on a ticket while a single dispatcher
+thread gathers everything that arrives within a short window, groups
+compatible jobs, and issues **one** backend ``solve_many`` per group.
+Under the ``batched`` backend a group becomes one block-diagonal
+lockstep Newton covering every requester's networks.
+
+Grouping is by *sparsity signature* — the tuple of
+:meth:`~repro.circuit.network.Network.pattern_signature` hashes of a
+job's networks, plus the solver name and solve parameters.  Matching
+signatures mean the merged system repeats an already-factorised
+pattern, so the structure cache keeps paying off across rounds; jobs
+with differing signatures are solved in separate backend calls rather
+than polluting each other's patterns.
+
+Correctness containment: a group that fails to converge is retried
+job-by-job, and a job that still fails gets the exception delivered on
+its own ticket — one request's pathological network cannot take down
+the batch it happened to share a window with.
+
+Because every submission funnels through the one dispatcher thread,
+the backends' structure/warm-start caches — written with single-thread
+batch runs in mind — are never touched concurrently, which is the
+second reason the thread-pool compute plane installs a coalescer even
+for workloads with nothing to merge.
+
+Parity: the ``reference`` backend's ``solve_many`` is a sequential
+per-network loop, so coalesced reference results are byte-identical to
+per-request calls; accelerated backends stay within their documented
+1e-9 V envelope (warm-start interleaving only moves the converged
+iterate within the Newton tolerance).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Sequence
+
+from ... import obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from ..network import Network, Solution
+    from ...obs.collector import Snapshot
+
+__all__ = ["SolveCoalescer"]
+
+
+class _Job:
+    """One caller's solve batch, waiting on its ticket."""
+
+    __slots__ = (
+        "solver",
+        "networks",
+        "initials",
+        "params",
+        "signature",
+        "solutions",
+        "error",
+        "done",
+        "merged",
+    )
+
+    def __init__(
+        self,
+        solver: str,
+        networks: Sequence["Network"],
+        initials: "Sequence[np.ndarray | None] | None",
+        params: tuple,
+    ) -> None:
+        self.solver = solver
+        self.networks = list(networks)
+        self.initials = (
+            list(initials) if initials is not None else [None] * len(networks)
+        )
+        self.params = params
+        self.signature = (
+            solver,
+            params,
+            tuple(net.pattern_signature() for net in networks),
+        )
+        self.solutions: "list[Solution] | None" = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+        self.merged = False
+
+
+class SolveCoalescer:
+    """Batch concurrent solver submissions through one dispatcher thread.
+
+    ``window_s`` is how long the dispatcher waits after the first job
+    of a round for companions to arrive; ``max_jobs`` caps one round.
+    The window trades a bounded latency floor for merge opportunity —
+    at 2 ms it is far below a single profile-grid solve, so even a
+    lone request barely notices it.
+    """
+
+    def __init__(self, window_s: float = 0.002, max_jobs: int = 64) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if max_jobs < 1:
+            raise ValueError(f"max_jobs must be >= 1, got {max_jobs}")
+        self.window_s = window_s
+        self.max_jobs = max_jobs
+        self._queue: list[_Job] = []
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._collector = obs.Collector()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-coalescer", daemon=True
+        )
+        self._thread.start()
+
+    # -- caller side -------------------------------------------------------------
+
+    def solve_many(
+        self,
+        solver: str,
+        networks: Sequence["Network"],
+        initials: "Sequence[np.ndarray | None] | None" = None,
+        tol: float = 1e-10,
+        max_iterations: int = 200,
+        v_step_limit: float = 0.25,
+    ) -> "list[Solution]":
+        """Submit one batch and block until the dispatcher solves it."""
+        if not networks:
+            return []
+        job = _Job(solver, networks, initials, (tol, max_iterations, v_step_limit))
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("solve coalescer is closed")
+            self._queue.append(job)
+            self._wake.notify()
+        job.done.wait()
+        if job.error is not None:
+            raise job.error
+        assert job.solutions is not None
+        return job.solutions
+
+    # -- dispatcher side ---------------------------------------------------------
+
+    def _take_round(self) -> "list[_Job]":
+        """Block for the first job, then gather companions for a window."""
+        with self._wake:
+            while not self._queue and not self._closed:
+                self._wake.wait()
+            if not self._queue:
+                return []
+        if self.window_s > 0:
+            # Collect without holding the lock: submitters keep landing
+            # in the queue while the window runs out.
+            end = time.monotonic() + self.window_s
+            step = max(self.window_s / 4.0, 1e-4)
+            while True:
+                with self._wake:
+                    if len(self._queue) >= self.max_jobs or self._closed:
+                        break
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    break
+                time.sleep(min(remaining, step))
+        with self._wake:
+            jobs = self._queue[: self.max_jobs]
+            del self._queue[: len(jobs)]
+        return jobs
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            jobs = self._take_round()
+            if not jobs:
+                with self._wake:
+                    if self._closed and not self._queue:
+                        return
+                continue
+            self._dispatch(jobs)
+
+    def _dispatch(self, jobs: "list[_Job]") -> None:
+        groups: dict[tuple, list[_Job]] = {}
+        for job in jobs:
+            groups.setdefault(job.signature, []).append(job)
+        collector = self._collector
+        collector.count("coalesce.jobs", len(jobs))
+        collector.count("coalesce.batches", len(groups))
+        for group in groups.values():
+            if len(group) > 1:
+                collector.count("coalesce.merged_jobs", len(group))
+            collector.gauge("coalesce.batch_jobs", len(group))
+            self._solve_group(group)
+
+    def _solve_group(self, group: "list[_Job]") -> None:
+        from . import get_backend
+
+        solver = group[0].solver
+        tol, max_iterations, v_step_limit = group[0].params
+        networks = [net for job in group for net in job.networks]
+        initials = [seed for job in group for seed in job.initials]
+        if all(seed is None for seed in initials):
+            initials = None
+        try:
+            with obs.collecting(self._collector):
+                solutions = get_backend(solver).solve_many(
+                    networks,
+                    initials=initials,
+                    tol=tol,
+                    max_iterations=max_iterations,
+                    v_step_limit=v_step_limit,
+                )
+        except BaseException:  # noqa: BLE001 - contained per job below
+            if len(group) == 1:
+                self._solve_alone(group[0])
+                return
+            self._collector.count("coalesce.group_fallbacks")
+            for job in group:
+                self._solve_alone(job)
+            return
+        offset = 0
+        for job in group:
+            job.merged = len(group) > 1
+            job.solutions = solutions[offset : offset + len(job.networks)]
+            offset += len(job.networks)
+            job.done.set()
+
+    def _solve_alone(self, job: _Job) -> None:
+        """Isolated retry so one bad network cannot sink its round."""
+        from . import get_backend
+
+        tol, max_iterations, v_step_limit = job.params
+        initials = job.initials
+        if all(seed is None for seed in initials):
+            initials = None
+        try:
+            with obs.collecting(self._collector):
+                job.solutions = get_backend(job.solver).solve_many(
+                    job.networks,
+                    initials=initials,
+                    tol=tol,
+                    max_iterations=max_iterations,
+                    v_step_limit=v_step_limit,
+                )
+        except BaseException as exc:  # noqa: BLE001 - delivered on the ticket
+            job.error = exc
+        job.done.set()
+
+    # -- lifecycle / stats -------------------------------------------------------
+
+    def stats(self) -> "Snapshot":
+        """Counters so far (jobs, batches, merged jobs, fallbacks)."""
+        return self._collector.snapshot()
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Jobs per backend call; 1.0 means nothing ever merged."""
+        counters = self._collector.counters
+        batches = counters.get("coalesce.batches", 0)
+        if not batches:
+            return 1.0
+        return counters.get("coalesce.jobs", 0) / batches
+
+    def close(self) -> None:
+        """Drain the queue and stop the dispatcher (idempotent)."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+        self._thread.join(timeout=30.0)

@@ -1,0 +1,173 @@
+"""Blocking client for the ``python -m repro serve`` service.
+
+:class:`ServiceClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.engine.service` over a plain TCP socket.  It is
+deliberately synchronous — callers that want concurrency open one
+client per thread (sockets are cheap; the service multiplexes) or use
+:func:`submit_many`, which fans a batch of requests out over a thread
+pool and is what the benchmark harness and the CI smoke test drive
+saturation with.
+
+Example::
+
+    from repro.client import ServiceClient
+
+    with ServiceClient(port=7327) as client:
+        doc = client.run("fig04", solver="batched")
+        payload = doc["result"]["payload"]
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Sequence
+
+__all__ = ["ServiceClient", "ServiceError", "submit_many"]
+
+
+class ServiceError(RuntimeError):
+    """A request the service answered with ``ok: false``."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """One connection to a running repro service.
+
+    A client instance is *not* thread-safe: each request writes a line
+    and blocks for the next response line, so interleaving two threads
+    on one socket would cross-deliver responses.  Use one client per
+    thread (see :func:`submit_many`).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7327,
+        timeout_s: "float | None" = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._reader = self._sock.makefile("rb")
+        self._request_id = 0
+
+    # -- protocol ----------------------------------------------------------------
+
+    def request(self, doc: dict) -> dict:
+        """Send one request document and block for its response."""
+        self._request_id += 1
+        doc = {"id": self._request_id, **doc}
+        self._sock.sendall(
+            json.dumps(doc, separators=(",", ":")).encode() + b"\n"
+        )
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("code", "unknown"), error.get("message", "")
+            )
+        return response
+
+    # -- operations --------------------------------------------------------------
+
+    def run(
+        self,
+        experiment: str,
+        seed: int = 0,
+        solver: "str | None" = None,
+        quick: bool = False,
+        benchmarks: "Sequence[str] | None" = None,
+        fault_rate: "float | None" = None,
+        deadline_s: "float | None" = None,
+        no_cache: bool = False,
+    ) -> dict:
+        """Run an experiment; returns the full response document.
+
+        The interesting part is ``response["result"]`` — the same
+        ``{experiment, meta, payload}`` document a batch ``--json`` run
+        writes.  Raises :class:`ServiceError` on rejection, deadline
+        expiry, or failure.
+        """
+        doc: dict[str, Any] = {"op": "run", "experiment": experiment}
+        if seed:
+            doc["seed"] = seed
+        if solver is not None:
+            doc["solver"] = solver
+        if quick:
+            doc["quick"] = True
+        if benchmarks is not None:
+            doc["benchmarks"] = list(benchmarks)
+        if fault_rate is not None:
+            doc["fault_rate"] = fault_rate
+        if deadline_s is not None:
+            doc["deadline_s"] = deadline_s
+        if no_cache:
+            doc["no_cache"] = True
+        return self.request(doc)
+
+    def ping(self) -> bool:
+        """Liveness probe; ``True`` when the service answers."""
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def stats(self) -> dict:
+        """The service's observability snapshot (see ``EngineService.stats``)."""
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the service to drain and exit."""
+        self.request({"op": "shutdown"})
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def submit_many(
+    requests: "Sequence[dict]",
+    host: str = "127.0.0.1",
+    port: int = 7327,
+    concurrency: int = 8,
+    timeout_s: "float | None" = 300.0,
+) -> "list[dict | Exception]":
+    """Fan request documents out over concurrent connections.
+
+    Each worker thread owns its own connection; results come back in
+    request order, with failures (:class:`ServiceError`,
+    ``ConnectionError``) delivered in-place instead of raised, so one
+    rejected request does not hide the other responses.
+    """
+
+    def _one(doc: dict) -> dict:
+        with ServiceClient(host, port, timeout_s=timeout_s) as client:
+            return client.request(doc)
+
+    workers = max(1, min(concurrency, len(requests) or 1))
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="repro-client"
+    ) as pool:
+        futures = [pool.submit(_one, dict(doc)) for doc in requests]
+        results: "list[dict | Exception]" = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - delivered in-place
+                results.append(exc)
+    return results

@@ -24,11 +24,13 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import logging
 import os
 import pickle
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -50,6 +52,15 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 SCHEMA_VERSION = 2
 
 QUARANTINE_DIR = "quarantine"
+
+#: Process-wide quarantine sequence: shared by every :class:`ResultCache`
+#: instance so concurrent writers (service request threads, two caches
+#: opened on the same directory) can never pick the same
+#: ``{stem}.{pid}.{seq}`` evidence name.  The lock also guards the
+#: per-instance ``quarantined`` counters, which must stay picklable and
+#: therefore cannot carry locks of their own.
+_QUARANTINE_SEQ = itertools.count(1)
+_QUARANTINE_LOCK = threading.Lock()
 
 _MISSING_TYPE = type("_MISSING_TYPE", (), {"__repr__": lambda self: "MISSING"})
 MISSING: Any = _MISSING_TYPE()
@@ -182,30 +193,54 @@ class ResultCache:
     def _quarantine(self, path: Path, reason: str) -> None:
         """Set a bad entry aside (never delete: it may hold evidence).
 
-        The quarantine filename carries the pid and a per-instance
-        sequence number: two processes quarantining the same key — or
-        one instance re-quarantining a recomputed-then-re-corrupted
-        entry — must each keep their own evidence instead of silently
-        overwriting a file that shares the entry's name.
+        The quarantine filename carries the pid and a process-wide
+        sequence number: concurrent writers — service request threads,
+        two caches opened on one directory, or one instance
+        re-quarantining a recomputed-then-re-corrupted entry — must
+        each keep their own evidence.  ``os.replace`` silently
+        overwrites an existing target, so the name is *reserved* first
+        with ``O_EXCL`` (which also defends against a recycled pid
+        colliding with a previous process's files) and the bad entry is
+        then moved over the placeholder.
         """
         target_dir = self.root / QUARANTINE_DIR
-        self.quarantined += 1
-        target = target_dir / (
-            f"{path.stem}.{os.getpid()}.{self.quarantined}{path.suffix}"
-        )
         try:
             target_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, target)
-        except FileNotFoundError:
-            # A racing process already quarantined (or deleted) it.
-            self.quarantined -= 1
+        except OSError:
             return
-        except (FileExistsError, OSError):
+        target = None
+        while target is None:
+            seq = next(_QUARANTINE_SEQ)
+            candidate = target_dir / (
+                f"{path.stem}.{os.getpid()}.{seq}{path.suffix}"
+            )
             try:
-                path.unlink()
+                fd = os.open(candidate, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue  # stale file from a recycled pid: next seq
             except OSError:
-                self.quarantined -= 1
-                return  # racing deleter already removed it
+                # Quarantine dir unusable (permissions, read-only fs):
+                # drop the bad entry so it at least stops poisoning loads.
+                try:
+                    path.unlink()
+                except OSError:
+                    return
+                break
+            os.close(fd)
+            target = candidate
+        if target is not None:
+            try:
+                os.replace(path, target)
+            except (FileNotFoundError, OSError):
+                # A racing process already quarantined (or deleted) the
+                # entry; release the unused placeholder.
+                try:
+                    os.unlink(target)
+                except OSError:
+                    pass
+                return
+        with _QUARANTINE_LOCK:
+            self.quarantined += 1
         obs.count("disk_cache.quarantine")
         _log.warning("quarantined cache entry %s: %s", path.name, reason)
 

@@ -1,0 +1,182 @@
+"""Compute-plane backends: where experiment plans actually execute.
+
+A :class:`ComputeBackend` accepts ``(plan, context)`` pairs and turns
+them into :class:`~repro.engine.artifact.ExperimentResult` artifacts.
+The request planes — the batch runner and the asyncio service — never
+run drivers themselves; they build plans and submit them here, so the
+execution semantics (caching, partial results, observability) are
+identical whichever front door a request came through.
+
+Two backends ship:
+
+* :class:`InlineBackend` executes in the calling thread.  This is the
+  batch CLI's path and keeps ``run_experiment`` synchronous and
+  byte-identical to the historical runner.
+* :class:`ThreadPoolBackend` executes plans on worker threads over
+  *shared warm contexts* and activates a
+  :class:`~repro.circuit.solvers.coalesce.SolveCoalescer` for its
+  lifetime, so independent BL-profile solves from concurrent requests
+  merge into single ``solve_many`` calls (the ``batched`` backend then
+  runs them as one block-diagonal lockstep Newton).  Within an
+  experiment, cell-level fan-out still rides the context's executor —
+  the existing process pool sits *underneath* this backend, it is not
+  replaced by it.
+
+Worker threads each collect observability into a per-request
+collector (activation is thread-local, see :mod:`repro.obs.collector`)
+and merge the snapshot into the backend's aggregate under a lock, so
+service-wide counters survive request interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+from .. import obs
+from .plan import execute_plan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.collector import Snapshot
+    from .artifact import ExperimentResult
+    from .context import RunContext
+    from .plan import ExperimentPlan
+
+__all__ = [
+    "ComputeBackend",
+    "InlineBackend",
+    "ThreadPoolBackend",
+    "inline_backend",
+]
+
+
+class ComputeBackend(ABC):
+    """One strategy for executing experiment plans."""
+
+    @abstractmethod
+    def submit(
+        self, plan: "ExperimentPlan", context: "RunContext"
+    ) -> "Future[ExperimentResult]":
+        """Schedule ``plan`` and return a future for its artifact."""
+
+    def run(
+        self, plan: "ExperimentPlan", context: "RunContext"
+    ) -> "ExperimentResult":
+        """Execute ``plan`` and block for the artifact."""
+        return self.submit(plan, context).result()
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+
+class InlineBackend(ComputeBackend):
+    """Execute plans synchronously in the calling thread."""
+
+    def submit(
+        self, plan: "ExperimentPlan", context: "RunContext"
+    ) -> "Future[ExperimentResult]":
+        future: Future = Future()
+        try:
+            future.set_result(execute_plan(plan, context))
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            future.set_exception(exc)
+        return future
+
+    def run(
+        self, plan: "ExperimentPlan", context: "RunContext"
+    ) -> "ExperimentResult":
+        return execute_plan(plan, context)
+
+
+_INLINE = InlineBackend()
+
+
+def inline_backend() -> InlineBackend:
+    """The shared (stateless) inline backend."""
+    return _INLINE
+
+
+class ThreadPoolBackend(ComputeBackend):
+    """Execute plans on worker threads with cross-request coalescing.
+
+    ``workers`` bounds concurrent plan execution.  The backend owns a
+    :class:`~repro.circuit.solvers.coalesce.SolveCoalescer` that is
+    installed process-wide while the backend is open: besides merging
+    concurrent solves into one batch, the coalescer funnels every
+    Newton solve through its single dispatcher thread, which is what
+    makes the (thread-oblivious) solver structure caches safe to share
+    between request threads.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        coalesce: bool = True,
+        coalesce_window_s: float = 0.002,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-compute"
+        )
+        self._collector = obs.Collector()
+        self._collector_lock = threading.Lock()
+        self._coalescer = None
+        self._closed = False
+        if coalesce:
+            from ..circuit.solvers import install_coalescer
+            from ..circuit.solvers.coalesce import SolveCoalescer
+
+            self._coalescer = SolveCoalescer(window_s=coalesce_window_s)
+            install_coalescer(self._coalescer)
+
+    @property
+    def label(self) -> str:
+        return f"threads[{self.workers}]"
+
+    def _execute(
+        self, plan: "ExperimentPlan", context: "RunContext"
+    ) -> "ExperimentResult":
+        local = obs.Collector()
+        with obs.collecting(local):
+            with obs.span("compute.plan", name=plan.name):
+                result = execute_plan(plan, context)
+        self.merge_observations(local.snapshot())
+        return result
+
+    def submit(
+        self, plan: "ExperimentPlan", context: "RunContext"
+    ) -> "Future[ExperimentResult]":
+        if self._closed:
+            raise RuntimeError("compute backend is closed")
+        return self._pool.submit(self._execute, plan, context)
+
+    def merge_observations(self, snapshot: "Snapshot") -> None:
+        with self._collector_lock:
+            self._collector.merge(snapshot)
+
+    def stats(self) -> "Snapshot":
+        """Aggregate observability: executed plans plus coalescer state."""
+        with self._collector_lock:
+            snapshot = self._collector.snapshot()
+        if self._coalescer is not None:
+            snapshot_c = self._coalescer.stats()
+            merged = obs.Collector()
+            merged.merge(snapshot)
+            merged.merge(snapshot_c)
+            return merged.snapshot()
+        return snapshot
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        if self._coalescer is not None:
+            from ..circuit.solvers import uninstall_coalescer
+
+            uninstall_coalescer(self._coalescer)
+            self._coalescer.close()

@@ -9,6 +9,7 @@ base RNG seed from which every workload generator's seed derives.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -99,25 +100,41 @@ class RunContext:
         # construction, not deep inside the first solve.
         self.solver = solver_name(solver)
         self._schemes: dict[tuple[str, tuple[int, ...]], dict[str, Scheme]] = {}
-        self._task_errors: list[TaskError] = []
-        self._retries = 0
+        self._schemes_lock = threading.Lock()
+        # Failure diagnostics are *per thread*: a warm context shared by
+        # the service's compute plane runs one request per worker
+        # thread, and request A draining request B's task errors would
+        # silently reassign failures across payloads.
+        self._diagnostics = threading.local()
 
     # -- failure bookkeeping ----------------------------------------------------
 
+    def _diag(self) -> "threading.local":
+        diag = self._diagnostics
+        if not hasattr(diag, "errors"):
+            diag.errors = []
+            diag.retries = 0
+        return diag
+
     def note_task_error(self, error: "TaskError") -> None:
         """Record one task's final failure (partial-result mode)."""
-        self._task_errors.append(error)
+        self._diag().errors.append(error)
 
     def note_retries(self, count: int) -> None:
         """Record retries that executors absorbed on the way to success."""
-        self._retries += count
+        self._diag().retries += count
 
     def drain_diagnostics(self) -> tuple[tuple["TaskError", ...], int]:
-        """Hand the accumulated (errors, retries) over and reset them."""
-        errors = tuple(self._task_errors)
-        retries = self._retries
-        self._task_errors = []
-        self._retries = 0
+        """Hand the accumulated (errors, retries) over and reset them.
+
+        Scoped to the calling thread: each compute-plane worker drains
+        only the diagnostics of the request it is executing.
+        """
+        diag = self._diag()
+        errors = tuple(diag.errors)
+        retries = diag.retries
+        diag.errors = []
+        diag.retries = 0
         return errors, retries
 
     # -- models -----------------------------------------------------------------
@@ -172,12 +189,17 @@ class RunContext:
         key = (config_hash(config), tuple(oracle_sections))
         registry = self._schemes.get(key)
         if registry is None:
+            # The build happens outside the lock (it runs calibration
+            # solves); concurrent builders of one key are redundant but
+            # consistent, and first-insert-wins keeps every caller on a
+            # single registry object afterwards.
             registry = standard_schemes(
                 config,
                 oracle_sections,
                 model=self.nominal_ir_model(config),
             )
-            self._schemes[key] = registry
+            with self._schemes_lock:
+                registry = self._schemes.setdefault(key, registry)
         return registry
 
     # -- randomness -------------------------------------------------------------

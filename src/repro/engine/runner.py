@@ -1,42 +1,50 @@
 """The engine front door: run one registered experiment in a context.
 
-:func:`run_experiment` resolves the experiment in the registry, checks
-the context's result cache (key: config hash + experiment name +
-workload parameters + code version), invokes the driver with the
-context threaded through, validates the payload against the declared
-output schema, and wraps everything in an
-:class:`~repro.engine.artifact.ExperimentResult`.
+:func:`run_experiment` builds an :class:`~repro.engine.plan.ExperimentPlan`
+(registry resolution + cache keying) and hands it to a
+:class:`~repro.engine.compute.ComputeBackend` — by default the inline
+backend, which executes in the calling thread.  The actual
+cache-check / drive / validate / store pipeline lives in
+:func:`repro.engine.plan.execute_plan`, shared with the long-lived
+service front end (:mod:`repro.engine.service`).
+
+Called without a context, the runner uses the process-wide *warm*
+default context (:func:`repro.engine.warm.default_context`), so
+repeated in-process calls reuse one model cache and scheme registry
+instead of rebuilding models per call.
 """
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING
 
 from .. import obs
-from ..config import config_hash
 from .artifact import ExperimentResult
-from .cache import MISSING, cache_key
-from .context import RunContext
-from .registry import get_experiment
+from .plan import build_plan
+from .warm import default_context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.experiments import PerfSettings
-    from .registry import Experiment
+    from .compute import ComputeBackend
+    from .context import RunContext
 
 __all__ = ["run_experiment"]
 
 
 def run_experiment(
     name: str,
-    context: RunContext | None = None,
+    context: "RunContext | None" = None,
     settings: "PerfSettings | None" = None,
+    backend: "ComputeBackend | None" = None,
 ) -> ExperimentResult:
     """Run one experiment end to end and return the typed artifact.
 
     ``settings`` applies only to simulation-backed experiments; ``None``
     leaves the driver's own default sizing in force (figures 18-20 keep
     their representative benchmark subsets).
+
+    ``backend`` selects the compute plane; ``None`` executes inline in
+    the calling thread (the historical behaviour).
 
     When the context carries an :class:`~repro.obs.collector.Collector`
     it is activated for the duration of the run — every instrumented
@@ -45,68 +53,15 @@ def run_experiment(
     back — and the aggregate profile is attached to the result as
     ``extra["profile"]``.
     """
-    experiment = get_experiment(name)
-    context = context or RunContext()
+    from .compute import inline_backend
+
+    context = context or default_context()
+    plan = build_plan(name, context, settings)
+    backend = backend or inline_backend()
     collector = context.collector
     if collector is None:
-        return _run(experiment, name, context, settings)
+        return backend.run(plan, context)
     with obs.collecting(collector):
-        result = _run(experiment, name, context, settings)
+        result = backend.run(plan, context)
     result.extra["profile"] = collector.snapshot().to_plain()
     return result
-
-
-def _run(
-    experiment: "Experiment",
-    name: str,
-    context: RunContext,
-    settings: "PerfSettings | None",
-) -> ExperimentResult:
-    cfg_hash = config_hash(context.config)
-    key = cache_key(
-        "experiment",
-        cfg_hash,
-        name,
-        settings if experiment.simulation else None,
-        context.seed,
-        context.faults,  # None for a perfect array (the historical key)
-        # None under the default backend, preserving historical keys;
-        # accelerated backends get their own cache namespace.
-        context.solver if context.solver != "reference" else None,
-    )
-    start = time.perf_counter()
-    payload = context.cache.load(key)
-    if payload is not MISSING:
-        return ExperimentResult(
-            name=name,
-            payload=payload,
-            config_hash=cfg_hash,
-            wall_s=time.perf_counter() - start,
-            executor=context.executor.label,
-            cache="hit",
-            seed=context.seed,
-        )
-    kwargs: dict = {"config": context.config, "context": context}
-    if experiment.simulation and settings is not None:
-        kwargs["settings"] = settings
-    context.drain_diagnostics()  # a fresh run starts with a clean slate
-    with obs.span("experiment", name=name):
-        payload = experiment.driver(**kwargs)
-    wall_s = time.perf_counter() - start
-    experiment.validate_payload(payload)
-    errors, retries = context.drain_diagnostics()
-    if not errors:
-        # Partial payloads are never cached: a transient worker failure
-        # must not become a persistent hole in the figure.
-        context.cache.store(key, payload)
-    return ExperimentResult(
-        name=name,
-        payload=payload,
-        config_hash=cfg_hash,
-        wall_s=wall_s,
-        executor=context.executor.label,
-        cache="miss" if context.cache.enabled else "off",
-        seed=context.seed,
-        errors=errors,
-        retries=retries,
-    )

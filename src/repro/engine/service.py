@@ -1,0 +1,497 @@
+"""Long-lived simulation service: the asyncio request plane.
+
+``python -m repro serve`` turns the batch harness into a daemon: an
+asyncio front end accepts newline-delimited JSON requests over TCP,
+applies admission control and per-request deadlines, and hands
+resolved :class:`~repro.engine.plan.ExperimentPlan` objects to the
+compute plane (:class:`~repro.engine.compute.ThreadPoolBackend`), where
+warm shared :class:`~repro.engine.context.RunContext` instances and the
+cross-request solve coalescer amortise model construction and Newton
+factorisations across the whole request stream.
+
+Wire protocol — one JSON object per line, one response line per
+request (responses may interleave across concurrent requests on a
+connection; match them by ``id``):
+
+``{"op": "run", "id": 1, "experiment": "fig11a", "seed": 0, ...}``
+    Run an experiment.  Optional fields: ``solver``, ``quick``,
+    ``benchmarks``, ``fault_rate``, ``deadline_s``, ``no_cache``.
+    Response: ``{"ok": true, "id": 1, "result": {experiment, meta,
+    payload}}`` — the exact ``--json`` document of a batch run.
+``{"op": "ping"}`` / ``{"op": "stats"}`` / ``{"op": "shutdown"}``
+    Liveness probe, observability snapshot (queue depth, coalesce
+    counters, request latencies), graceful drain-and-exit.
+
+Failure envelope: ``{"ok": false, "id": ..., "error": {"code",
+"message"}}`` with codes ``bad-request``, ``unknown-experiment``,
+``rejected`` (admission control), ``deadline`` and ``internal``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from .. import obs
+from .cache import DEFAULT_CACHE_DIR
+from .compute import ThreadPoolBackend
+from .plan import build_plan
+from .registry import get_experiment
+from .warm import warm_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .artifact import ExperimentResult
+
+__all__ = ["EngineService", "ServeOptions", "serve_main"]
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Tunables of one service instance (all have serving defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is printed/exposed
+    compute_workers: int = 2
+    #: Admission control: requests admitted (queued or running) at once.
+    #: Arrivals beyond this are rejected immediately, never queued.
+    max_pending: int = 32
+    #: Deadline applied to requests that do not carry their own
+    #: ``deadline_s``; ``None`` means unbounded.
+    default_deadline_s: float | None = None
+    coalesce_window_s: float = 0.002
+    coalesce: bool = True
+    #: Disk cache shared by every request (``None`` disables caching).
+    cache_dir: str | None = DEFAULT_CACHE_DIR
+    #: Default solver for requests that do not name one.
+    solver: str | None = None
+
+
+class _RequestError(Exception):
+    """A client-visible failure with a stable error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class EngineService:
+    """Request plane: admission, deadlines, dispatch, graceful drain."""
+
+    def __init__(self, options: ServeOptions | None = None) -> None:
+        self.options = options or ServeOptions()
+        self._backend = ThreadPoolBackend(
+            workers=self.options.compute_workers,
+            coalesce=self.options.coalesce,
+            coalesce_window_s=self.options.coalesce_window_s,
+        )
+        self._collector = obs.Collector()
+        self._obs_lock = threading.Lock()
+        self._pending = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+        self._shutdown = asyncio.Event()
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (``port`` may be 0 = ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.options.host, self.options.port
+        )
+
+    @property
+    def host(self) -> str:
+        return self.options.host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral port 0 after start)."""
+        if self._server is None or not self._server.sockets:
+            return self.options.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted and not yet answered (queue + running)."""
+        return self._pending
+
+    async def wait_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`close`) lands."""
+        await self._shutdown.wait()
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop accepting; optionally drain in-flight requests first.
+
+        With ``drain`` every admitted request still runs to completion
+        and gets its response before the sockets die; without it,
+        request tasks are cancelled (queued compute futures are
+        cancelled too; a plan already executing on a worker thread
+        finishes in the background but its response is dropped).
+        """
+        self._draining = True
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            while self._request_tasks:
+                await asyncio.gather(
+                    *tuple(self._request_tasks), return_exceptions=True
+                )
+        else:
+            for task in tuple(self._request_tasks):
+                task.cancel()
+            await asyncio.gather(
+                *tuple(self._request_tasks), return_exceptions=True
+            )
+        for task in tuple(self._conn_tasks):
+            task.cancel()
+        await asyncio.gather(*tuple(self._conn_tasks), return_exceptions=True)
+        self._backend.close()
+
+    # -- observability -----------------------------------------------------------
+
+    def _note(self, name: str, n: int = 1) -> None:
+        with self._obs_lock:
+            self._collector.count(name, n)
+
+    def _note_latency(self, elapsed_s: float) -> None:
+        with self._obs_lock:
+            self._collector.record_span("service.request", elapsed_s)
+
+    def _note_depth(self) -> None:
+        with self._obs_lock:
+            self._collector.gauge("service.queue_depth", self._pending)
+            peak = self._collector.gauges.get("service.queue_depth_peak", 0.0)
+            if self._pending > peak:
+                self._collector.gauge(
+                    "service.queue_depth_peak", self._pending
+                )
+
+    def stats(self) -> dict:
+        """Service + compute + coalescer observability as a plain dict."""
+        merged = obs.Collector()
+        with self._obs_lock:
+            merged.merge(self._collector.snapshot())
+        merged.merge(self._backend.stats())
+        counters = merged.counters
+        jobs = counters.get("coalesce.jobs", 0)
+        batches = counters.get("coalesce.batches", 0)
+        plain = merged.snapshot().to_plain()
+        plain["coalesce_ratio"] = round(jobs / batches, 4) if batches else 1.0
+        plain["pending"] = self._pending
+        return plain
+
+    # -- request handling --------------------------------------------------------
+
+    async def submit(self, request: dict) -> dict:
+        """Handle one decoded request document (also the in-process API)."""
+        if not isinstance(request, dict):
+            return _error_doc(None, "bad-request", "request must be an object")
+        request_id = request.get("id")
+        op = request.get("op", "run")
+        try:
+            if op == "ping":
+                return {"ok": True, "id": request_id, "op": "ping"}
+            if op == "stats":
+                return {"ok": True, "id": request_id, "stats": self.stats()}
+            if op == "shutdown":
+                self._shutdown.set()
+                return {"ok": True, "id": request_id, "op": "shutdown"}
+            if op != "run":
+                raise _RequestError("bad-request", f"unknown op {op!r}")
+            result = await self._run_request(request)
+            return {"ok": True, "id": request_id, "result": result.to_plain()}
+        except _RequestError as error:
+            return _error_doc(request_id, error.code, str(error))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - client gets an envelope
+            return _error_doc(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    async def _run_request(self, request: dict) -> "ExperimentResult":
+        name = request.get("experiment")
+        if not isinstance(name, str) or not name:
+            raise _RequestError("bad-request", "missing experiment name")
+        try:
+            experiment = get_experiment(name)
+        except KeyError as exc:
+            raise _RequestError(
+                "unknown-experiment", str(exc).strip('"')
+            ) from None
+
+        # Admission control: beyond max_pending the request is refused
+        # outright — a bounded queue keeps worst-case latency bounded
+        # and pushes overload back to the clients instead of hiding it.
+        if self._draining:
+            raise _RequestError("rejected", "service is shutting down")
+        if self._pending >= self.options.max_pending:
+            self._note("service.rejected")
+            raise _RequestError(
+                "rejected",
+                f"admission queue full ({self.options.max_pending} pending)",
+            )
+
+        context, settings = self._resolve(request, experiment.simulation)
+        plan = build_plan(name, context, settings)
+        deadline_s = request.get("deadline_s", self.options.default_deadline_s)
+        if deadline_s is not None and (
+            not isinstance(deadline_s, (int, float)) or deadline_s <= 0
+        ):
+            raise _RequestError("bad-request", "deadline_s must be positive")
+
+        self._pending += 1
+        self._note("service.admitted")
+        self._note_depth()
+        start = time.monotonic()
+        future = self._backend.submit(plan, context)
+        try:
+            wrapped = asyncio.wrap_future(future)
+            if deadline_s is None:
+                result = await wrapped
+            else:
+                try:
+                    result = await asyncio.wait_for(
+                        asyncio.shield(wrapped), timeout=deadline_s
+                    )
+                except asyncio.TimeoutError:
+                    # A queued plan is withdrawn; a running one cannot
+                    # be preempted mid-driver — it finishes on the
+                    # worker (warming caches for its successors) but
+                    # the response is the deadline error either way.
+                    if future.cancel():
+                        self._note("service.deadline_cancelled")
+                    else:
+                        self._note("service.deadline_abandoned")
+                        # Retrieve the eventual outcome so an abandoned
+                        # plan that fails does not log "exception was
+                        # never retrieved" long after the response went.
+                        wrapped.add_done_callback(_swallow_outcome)
+                    self._note("service.deadline_expired")
+                    raise _RequestError(
+                        "deadline",
+                        f"request exceeded deadline_s={deadline_s}",
+                    ) from None
+            self._note("service.completed")
+            return result
+        finally:
+            self._pending -= 1
+            self._note_depth()
+            self._note_latency(time.monotonic() - start)
+
+    def _resolve(self, request: dict, simulation: bool):
+        """Warm context + settings for one request's parameters."""
+        seed = request.get("seed", 0)
+        if not isinstance(seed, int):
+            raise _RequestError("bad-request", "seed must be an integer")
+        solver = request.get("solver", self.options.solver)
+        faults = None
+        fault_rate = request.get("fault_rate")
+        if fault_rate is not None:
+            if not isinstance(fault_rate, (int, float)) or fault_rate < 0:
+                raise _RequestError(
+                    "bad-request", "fault_rate must be a non-negative number"
+                )
+            from ..faults import FaultModel
+
+            faults = FaultModel.at_rate(float(fault_rate), seed=seed)
+        cache_dir = (
+            None if request.get("no_cache") else self.options.cache_dir
+        )
+        try:
+            context = warm_context(
+                seed=seed, solver=solver, faults=faults, cache_dir=cache_dir
+            )
+        except ValueError as exc:  # unknown solver backend
+            raise _RequestError("bad-request", str(exc)) from None
+
+        settings = None
+        if simulation:
+            from ..analysis.experiments import PerfSettings
+            from ..workloads import benchmark_suite
+
+            benchmarks = request.get("benchmarks")
+            if benchmarks is not None:
+                known = tuple(benchmark_suite())
+                unknown = [b for b in benchmarks if b not in known]
+                if unknown:
+                    raise _RequestError(
+                        "bad-request", f"unknown benchmarks {unknown}"
+                    )
+                benchmarks = tuple(benchmarks)
+            settings = PerfSettings(
+                accesses_per_core=2500 if request.get("quick") else 8000,
+                benchmarks=benchmarks,
+            )
+        return context, settings
+
+    # -- wire protocol -----------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    await self._respond(
+                        writer,
+                        write_lock,
+                        _error_doc(None, "bad-request", f"invalid JSON: {exc}"),
+                    )
+                    continue
+                # Each request line is served concurrently so one slow
+                # experiment does not head-of-line-block the connection.
+                request_task = asyncio.ensure_future(
+                    self._serve_one(request, writer, write_lock)
+                )
+                self._request_tasks.add(request_task)
+                request_task.add_done_callback(self._request_tasks.discard)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - connection teardown
+                pass
+
+    async def _serve_one(
+        self,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        response = await self.submit(request)
+        await self._respond(writer, write_lock, response)
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, write_lock: asyncio.Lock, doc: dict
+    ) -> None:
+        data = json.dumps(doc, separators=(",", ":")).encode() + b"\n"
+        async with write_lock:
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+def _swallow_outcome(future: "asyncio.Future") -> None:
+    if not future.cancelled():
+        future.exception()
+
+
+def _error_doc(request_id: Any, code: str, message: str) -> dict:
+    return {
+        "ok": False,
+        "id": request_id,
+        "error": {"code": code, "message": message},
+    }
+
+
+def serve_main(argv: "list[str] | None" = None) -> int:
+    """``python -m repro serve`` entry point."""
+    import argparse
+
+    from ..circuit.solvers import available_solvers
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve experiment requests over newline-delimited JSON.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7327,
+        help="listening port (0 = ephemeral; the bound port is printed)",
+    )
+    parser.add_argument(
+        "--compute-workers", type=int, default=2, metavar="N",
+        help="concurrent experiment plans on the compute plane",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=32, metavar="N",
+        help="admission limit: requests queued or running at once",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="default per-request deadline in seconds (unbounded if unset)",
+    )
+    parser.add_argument(
+        "--coalesce-window-ms", type=float, default=2.0, metavar="MS",
+        help="solve-coalescer gather window (0 disables merging wait)",
+    )
+    parser.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable the cross-request solve coalescer entirely",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--solver", choices=available_solvers(), default=None,
+        metavar="BACKEND",
+        help="default solver backend for requests that do not name one",
+    )
+    args = parser.parse_args(argv)
+    options = ServeOptions(
+        host=args.host,
+        port=args.port,
+        compute_workers=args.compute_workers,
+        max_pending=args.max_pending,
+        default_deadline_s=args.deadline,
+        coalesce_window_s=max(0.0, args.coalesce_window_ms) / 1000.0,
+        coalesce=not args.no_coalesce,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        solver=args.solver,
+    )
+
+    async def _amain() -> int:
+        service = EngineService(options)
+        await service.start()
+        print(
+            f"repro service listening on {service.host}:{service.port}",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, service._shutdown.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+        await service.wait_shutdown()
+        print("repro service draining...", flush=True)
+        await service.close(drain=True)
+        print("repro service stopped", flush=True)
+        return 0
+
+    return asyncio.run(_amain())

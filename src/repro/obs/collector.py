@@ -17,6 +17,7 @@ Timings use the monotonic :func:`time.perf_counter` clock.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -214,26 +215,30 @@ class Collector:
         self._stack.clear()
 
 
-#: The process-local active collector (None = collection disabled).
-_ACTIVE: Collector | None = None
+#: The active collector is *thread-local* (None = collection disabled).
+#: Single-threaded code sees the historical process-local behaviour;
+#: the service's compute plane runs one request per worker thread, each
+#: under its own collector, without the activations clobbering each
+#: other (a collector instance itself is single-writer: only the thread
+#: that activated it records into it, and aggregation goes through
+#: snapshot()/merge()).
+_STATE = threading.local()
 
 
 def active_collector() -> Collector | None:
     """The collector currently receiving observations, if any."""
-    return _ACTIVE
+    return getattr(_STATE, "active", None)
 
 
 def activate(collector: Collector | None = None) -> Collector:
     """Route subsequent :func:`count` / :func:`span` calls somewhere."""
-    global _ACTIVE
-    _ACTIVE = collector if collector is not None else Collector()
-    return _ACTIVE
+    _STATE.active = collector if collector is not None else Collector()
+    return _STATE.active
 
 
 def deactivate() -> None:
     """Return to zero-overhead no-op mode."""
-    global _ACTIVE
-    _ACTIVE = None
+    _STATE.active = None
 
 
 @contextmanager
@@ -242,27 +247,28 @@ def collecting(collector: Collector | None = None):
 
     ``collecting(None)`` creates a fresh collector; either way the
     previously active collector (or disabled state) is restored on
-    exit, so instrumented blocks nest safely.
+    exit, so instrumented blocks nest safely.  Activation is per
+    thread: a worker thread entering this block never redirects other
+    threads' observations.
     """
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = collector if collector is not None else Collector()
+    previous = getattr(_STATE, "active", None)
+    _STATE.active = collector if collector is not None else Collector()
     try:
-        yield _ACTIVE
+        yield _STATE.active
     finally:
-        _ACTIVE = previous
+        _STATE.active = previous
 
 
 def count(name: str, n: int = 1) -> None:
     """Bump a counter on the active collector (no-op when disabled)."""
-    collector = _ACTIVE
+    collector = getattr(_STATE, "active", None)
     if collector is not None:
         collector.count(name, n)
 
 
 def gauge(name: str, value: float) -> None:
     """Set a gauge on the active collector (no-op when disabled)."""
-    collector = _ACTIVE
+    collector = getattr(_STATE, "active", None)
     if collector is not None:
         collector.gauge(name, value)
 
@@ -273,7 +279,7 @@ def span(name: str, /, **tags) -> "_Span | _NoopSpan":
     The span name is positional-only so a tag may itself be called
     ``name`` (``span("experiment", name="fig04")``).
     """
-    collector = _ACTIVE
+    collector = getattr(_STATE, "active", None)
     if collector is None:
         return _NOOP_SPAN
     return collector.span(name, **tags)

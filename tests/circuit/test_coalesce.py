@@ -1,0 +1,256 @@
+"""Cross-request solve coalescing: parity, merging, containment."""
+
+import dataclasses
+import threading
+
+import numpy as np
+import pytest
+
+from repro.circuit.solvers import (
+    active_coalescer,
+    dispatch_solve,
+    dispatch_solve_many,
+    get_backend,
+    install_coalescer,
+    uninstall_coalescer,
+)
+from repro.circuit.solvers.coalesce import SolveCoalescer
+
+
+@pytest.fixture
+def coalescer():
+    c = SolveCoalescer(window_s=0.01)
+    yield c
+    c.close()
+
+
+@pytest.fixture
+def installed(coalescer):
+    install_coalescer(coalescer)
+    yield coalescer
+    uninstall_coalescer(coalescer)
+
+
+def _ladders(ladder_builder, count, rungs=6, v=3.0):
+    """`count` structurally identical ladders (equal sparsity signature)."""
+    return [ladder_builder([100.0] * rungs, v)[0] for _ in range(count)]
+
+
+class TestParity:
+    def test_reference_results_byte_identical(self, coalescer, ladder_builder):
+        nets = _ladders(ladder_builder, 4)
+        direct = get_backend("reference").solve_many(nets)
+        coalesced = coalescer.solve_many("reference", nets)
+        for a, b in zip(direct, coalesced):
+            assert np.array_equal(a.voltages, b.voltages)  # bitwise
+
+    @pytest.mark.parametrize("solver", ["factor-cache", "batched"])
+    def test_accelerated_within_envelope(
+        self, coalescer, ladder_builder, solver
+    ):
+        nets = _ladders(ladder_builder, 4)
+        direct = get_backend("reference").solve_many(nets)
+        coalesced = coalescer.solve_many(solver, nets)
+        for a, b in zip(direct, coalesced):
+            np.testing.assert_allclose(
+                a.voltages, b.voltages, rtol=0.0, atol=1e-9
+            )
+
+    def test_reduced_model_parity_through_dispatch(
+        self, installed, reduced_model_builder, reset_vector_gen
+    ):
+        """The line-model batch path is byte-stable under a coalescer."""
+        selections = reset_vector_gen(16, 4)
+        direct_model = reduced_model_builder(16)
+        uninstall_coalescer(installed)
+        baseline = direct_model.solve_reset_many(selections)
+        install_coalescer(installed)
+        routed = reduced_model_builder(16).solve_reset_many(selections)
+        for a, b in zip(baseline, routed):
+            assert a.v_eff == b.v_eff
+            assert a.sneak_current == b.sneak_current
+
+
+class TestMerging:
+    def test_concurrent_matching_jobs_merge(self, coalescer, ladder_builder):
+        """Jobs with equal signatures arriving in one window share a call."""
+        jobs = 6
+        barrier = threading.Barrier(jobs)
+        results = [None] * jobs
+
+        def submit(i):
+            net = _ladders(ladder_builder, 1)[0]
+            barrier.wait()
+            results[i] = coalescer.solve_many("reference", [net])[0]
+
+        threads = [
+            threading.Thread(target=submit, args=(i,)) for i in range(jobs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is not None for r in results)
+        counters = coalescer.stats().counters
+        assert counters["coalesce.jobs"] == jobs
+        # At least one round merged >1 job into a single backend call.
+        assert counters["coalesce.batches"] < jobs
+        assert counters.get("coalesce.merged_jobs", 0) >= 2
+        assert coalescer.coalesce_ratio > 1.0
+
+    def test_mismatched_signatures_solved_separately(
+        self, coalescer, ladder_builder
+    ):
+        """Different sparsity patterns never share one backend call."""
+        short = ladder_builder([100.0] * 3, 2.0)[0]
+        long = ladder_builder([100.0] * 9, 2.0)[0]
+        barrier = threading.Barrier(2)
+        voltages = {}
+
+        def submit(name, net):
+            barrier.wait()
+            voltages[name] = coalescer.solve_many("reference", [net])[0]
+
+        threads = [
+            threading.Thread(target=submit, args=("short", short)),
+            threading.Thread(target=submit, args=("long", long)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert voltages["short"].voltages.shape != voltages["long"].voltages.shape
+        counters = coalescer.stats().counters
+        assert counters["coalesce.batches"] >= 2
+        assert counters.get("coalesce.merged_jobs", 0) == 0
+
+    def test_empty_submission_short_circuits(self, coalescer):
+        assert coalescer.solve_many("reference", []) == []
+
+
+@dataclasses.dataclass
+class _ExplodingDevice:
+    """Device model that fails on evaluation (same params = same signature)."""
+
+    def current(self, v):
+        raise RuntimeError("device evaluation failed")
+
+    def conductance(self, v):
+        raise RuntimeError("device evaluation failed")
+
+
+def _exploding_network():
+    from repro.circuit.network import Network
+
+    net = Network()
+    source, node = net.add_node(), net.add_node()
+    net.fix_voltage(source, 1.0)
+    net.add_resistor(source, node, 100.0)
+    net.add_device(node, source, _ExplodingDevice())
+    return net
+
+
+class TestContainment:
+    def test_bad_job_fails_alone(self, coalescer, ladder_builder):
+        """A pathological network errors on its own ticket only."""
+        floating = _exploding_network()
+        good = _ladders(ladder_builder, 1)[0]
+        barrier = threading.Barrier(2)
+        outcome = {}
+
+        def submit(name, net):
+            barrier.wait()
+            try:
+                outcome[name] = coalescer.solve_many("reference", [net])[0]
+            except Exception as exc:  # noqa: BLE001 - recorded for asserts
+                outcome[name] = exc
+
+        threads = [
+            threading.Thread(target=submit, args=("good", good)),
+            threading.Thread(target=submit, args=("bad", floating)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert isinstance(outcome["bad"], Exception)
+        assert hasattr(outcome["good"], "voltages")
+
+    def test_matching_bad_group_falls_back_per_job(
+        self, coalescer
+    ):
+        """A failing merged group retries job-by-job (fallback counter)."""
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def submit():
+            net = _exploding_network()
+            barrier.wait()
+            try:
+                coalescer.solve_many("reference", [net])
+            except Exception as exc:  # noqa: BLE001 - expected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(errors) == 2
+        counters = coalescer.stats().counters
+        if counters.get("coalesce.merged_jobs", 0):
+            assert counters["coalesce.group_fallbacks"] >= 1
+
+
+class TestLifecycle:
+    def test_install_is_exclusive(self, coalescer):
+        other = SolveCoalescer(window_s=0.0)
+        install_coalescer(coalescer)
+        try:
+            install_coalescer(coalescer)  # idempotent for the same one
+            with pytest.raises(RuntimeError, match="already installed"):
+                install_coalescer(other)
+        finally:
+            uninstall_coalescer(coalescer)
+            other.close()
+        assert active_coalescer() is None
+
+    def test_uninstall_of_foreign_coalescer_is_noop(self, coalescer):
+        other = SolveCoalescer(window_s=0.0)
+        install_coalescer(coalescer)
+        try:
+            uninstall_coalescer(other)
+            assert active_coalescer() is coalescer
+        finally:
+            uninstall_coalescer(coalescer)
+            other.close()
+
+    def test_closed_coalescer_rejects_submissions(self, ladder_builder):
+        c = SolveCoalescer(window_s=0.0)
+        c.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            c.solve_many("reference", _ladders(ladder_builder, 1))
+        c.close()  # idempotent
+
+    def test_dispatch_bypasses_for_instances_and_when_uninstalled(
+        self, installed, ladder_builder
+    ):
+        """Explicit backend instances keep their historical direct path."""
+        from repro.circuit.solvers.reference import ReferenceBackend
+
+        net = _ladders(ladder_builder, 1)[0]
+        mine = ReferenceBackend()
+        before = installed.stats().counters.get("coalesce.jobs", 0)
+        solution = dispatch_solve(mine, net)
+        solutions = dispatch_solve_many(mine, [net])
+        assert hasattr(solution, "voltages") and len(solutions) == 1
+        assert installed.stats().counters.get("coalesce.jobs", 0) == before
+
+    def test_dispatch_routes_names_through_coalescer(
+        self, installed, ladder_builder
+    ):
+        net = _ladders(ladder_builder, 1)[0]
+        before = installed.stats().counters.get("coalesce.jobs", 0)
+        dispatch_solve("reference", net)
+        dispatch_solve_many("reference", [net])
+        assert installed.stats().counters.get("coalesce.jobs", 0) == before + 2

@@ -1,0 +1,158 @@
+"""Disk cache under concurrent writers: atomic stores, unique quarantine."""
+
+import re
+import threading
+
+from repro.engine.cache import MISSING, QUARANTINE_DIR, ResultCache
+
+#: The evidence-name contract CI and operators grep for.
+_QUARANTINE_NAME = re.compile(r"^(?P<stem>[0-9a-f]+)\.(?P<pid>\d+)\.(?P<seq>\d+)\.pkl$")
+
+
+def _corrupt(root, key):
+    (root / f"{key}.pkl").write_bytes(b"\x80\x04 definitely not an envelope")
+
+
+class TestQuarantineConcurrency:
+    def test_racing_loaders_quarantine_each_entry_exactly_once(self, tmp_path):
+        """N threads x M corrupt keys: every load misses, no evidence lost."""
+        keys = [f"{i:032x}" for i in range(8)]
+        for key in keys:
+            _corrupt(tmp_path, key)
+        caches = [ResultCache(tmp_path) for _ in range(4)]
+        barrier = threading.Barrier(len(caches))
+        misses = []
+        lock = threading.Lock()
+
+        def hammer(cache):
+            barrier.wait()
+            for key in keys:
+                value = cache.load(key)
+                with lock:
+                    misses.append(value is MISSING)
+
+        threads = [
+            threading.Thread(target=hammer, args=(c,)) for c in caches
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(misses) and len(misses) == len(caches) * len(keys)
+        evidence = sorted(p.name for p in (tmp_path / QUARANTINE_DIR).iterdir())
+        # Exactly one evidence file per corrupt entry: racing loaders
+        # either moved it or saw it already gone, never duplicated or
+        # overwrote it.
+        assert len(evidence) == len(keys)
+        stems = set()
+        for name in evidence:
+            match = _QUARANTINE_NAME.match(name)
+            assert match, name
+            stems.add(match.group("stem"))
+        assert stems == set(keys)
+        assert sum(c.quarantined for c in caches) == len(keys)
+
+    def test_requarantine_keeps_both_evidence_files(self, tmp_path):
+        """Two instances re-quarantining one key never share a filename.
+
+        Regression: per-instance sequence numbers made two caches pick
+        the same ``{stem}.{pid}.1`` name, and ``os.replace`` silently
+        overwrote the first instance's evidence.
+        """
+        key = "ab" * 16
+        first, second = ResultCache(tmp_path), ResultCache(tmp_path)
+        _corrupt(tmp_path, key)
+        assert first.load(key) is MISSING
+        _corrupt(tmp_path, key)
+        assert second.load(key) is MISSING
+        evidence = list((tmp_path / QUARANTINE_DIR).iterdir())
+        assert len(evidence) == 2
+        assert first.quarantined == second.quarantined == 1
+
+    def test_stale_evidence_name_is_skipped_not_clobbered(self, tmp_path):
+        """An existing file at the chosen name survives (O_EXCL skips it)."""
+        from repro.engine import cache as cache_module
+
+        key = "cd" * 16
+        quarantine = tmp_path / QUARANTINE_DIR
+        quarantine.mkdir()
+        import itertools
+        import os
+
+        # Pin the sequence so the next quarantine wants a known name,
+        # then occupy that name as a stale leftover.
+        cache_module._QUARANTINE_SEQ = itertools.count(41)
+        stale = quarantine / f"{key}.{os.getpid()}.41.pkl"
+        stale.write_bytes(b"previous evidence")
+        _corrupt(tmp_path, key)
+        assert ResultCache(tmp_path).load(key) is MISSING
+        assert stale.read_bytes() == b"previous evidence"
+        assert (quarantine / f"{key}.{os.getpid()}.42.pkl").exists()
+
+
+class TestConcurrentStores:
+    def test_racing_writers_leave_a_valid_entry(self, tmp_path):
+        """Last-writer-wins, but the surviving file is always loadable."""
+        key = "ef" * 16
+        cache = ResultCache(tmp_path)
+        barrier = threading.Barrier(8)
+        failures = []
+
+        def write(i):
+            barrier.wait()
+            try:
+                for _ in range(20):
+                    cache.store(key, {"writer": i, "blob": list(range(50))})
+            except Exception as exc:  # noqa: BLE001 - recorded for asserts
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        value = cache.load(key)
+        assert value is not MISSING
+        assert value["blob"] == list(range(50))
+        # No temp-file droppings survive the race.
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_store_load_interleaving_never_yields_torn_reads(self, tmp_path):
+        """Readers racing writers see a complete value or a miss, never junk."""
+        key = "01" * 16
+        cache = ResultCache(tmp_path)
+        stop = threading.Event()
+        bad = []
+
+        def write():
+            i = 0
+            while not stop.is_set():
+                cache.store(key, {"gen": i, "payload": "x" * 256})
+                i += 1
+
+        def read():
+            while not stop.is_set():
+                value = cache.load(key)
+                if value is MISSING:
+                    continue
+                if value.get("payload") != "x" * 256:
+                    bad.append(value)
+
+        threads = [threading.Thread(target=write) for _ in range(2)] + [
+            threading.Thread(target=read) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        timer = threading.Timer(0.5, stop.set)
+        timer.start()
+        for t in threads:
+            t.join()
+        timer.cancel()
+        assert bad == []
+        # Nothing was ever quarantined: atomic replace means readers
+        # never observe a half-written envelope.
+        assert not (tmp_path / QUARANTINE_DIR).exists()

@@ -1,0 +1,86 @@
+"""Warm shared contexts: one model cache across repeated runs."""
+
+import pytest
+
+from repro.engine import run_experiment
+from repro.engine.registry import _REGISTRY, Experiment, register
+from repro.engine.warm import (
+    _MAX_WARM,
+    clear_warm_contexts,
+    default_context,
+    warm_context,
+    warm_context_count,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    clear_warm_contexts()
+    yield
+    clear_warm_contexts()
+
+
+def _context_identity_driver(config=None, context=None):
+    return {"context_id": id(context)}
+
+
+@pytest.fixture
+def identity_probe():
+    register(
+        Experiment(
+            name="_warm_probe", driver=_context_identity_driver, title="w"
+        )
+    )
+    yield "_warm_probe"
+    _REGISTRY.pop("_warm_probe", None)
+
+
+class TestMemoisation:
+    def test_equal_parameters_share_one_context(self):
+        assert warm_context(seed=1) is warm_context(seed=1)
+
+    def test_differing_parameters_get_distinct_contexts(self):
+        assert warm_context(seed=1) is not warm_context(seed=2)
+        assert warm_context() is not warm_context(solver="batched")
+        assert warm_context() is not warm_context(strict=True)
+
+    def test_reference_solver_aliases_default(self):
+        """``solver=None`` and ``solver='reference'`` are one key."""
+        assert warm_context() is warm_context(solver="reference")
+
+    def test_default_context_is_the_parameterless_warm_context(self):
+        assert default_context() is warm_context()
+
+    def test_clear_drops_memoised_contexts(self):
+        before = warm_context(seed=7)
+        clear_warm_contexts()
+        assert warm_context(seed=7) is not before
+
+    def test_registry_is_bounded(self):
+        for seed in range(_MAX_WARM + 5):
+            warm_context(seed=seed)
+        assert warm_context_count() == _MAX_WARM
+
+    def test_warm_contexts_carry_no_collector(self):
+        """Profiling stays per-call: collectors are not part of the key."""
+        assert warm_context().collector is None
+
+    def test_cache_dir_none_disables_disk_cache(self, tmp_path):
+        assert not warm_context().cache.enabled
+        assert warm_context(cache_dir=str(tmp_path)).cache.enabled
+
+
+class TestRunnerIntegration:
+    def test_repeated_runs_reuse_one_context(self, identity_probe):
+        """Satellite check: back-to-back in-process calls share caches."""
+        first = run_experiment(identity_probe)
+        second = run_experiment(identity_probe)
+        assert first.payload["context_id"] == second.payload["context_id"]
+        assert first.payload["context_id"] == id(default_context())
+
+    def test_explicit_context_still_wins(self, identity_probe):
+        from repro.engine import RunContext
+
+        mine = RunContext()
+        result = run_experiment(identity_probe, mine)
+        assert result.payload["context_id"] == id(mine)
