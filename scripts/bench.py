@@ -32,6 +32,13 @@ concurrently through the ``repro serve`` request/compute planes
 (requests/s, p50/p99 latency, coalesce ratio) against a serialized
 one-shot baseline that resets all warm state between requests.
 
+Schema 5 adds a ``recovery_matrix``: the same workload driven through
+the supervised process pool three times — steady state, under a seeded
+:class:`~repro.chaos.ChaosPolicy` that kills workers mid-solve, and
+against a fully broken pool — recording throughput degradation under
+kills and the time for the degradation ladder to answer a request after
+a breaker trip.
+
 ``--compare OLD.json`` prints a speedup table (wall time, peak RSS,
 factorisation counts) of this run against a previous document and, with
 ``--fail-over R``, exits non-zero if any shared experiment got more
@@ -80,9 +87,24 @@ SERVICE_EXPERIMENT = "fig11a"
 SERVICE_REQUESTS = 8
 SERVICE_WORKERS = 4
 
+#: Recovery-matrix chaos: seed 2 against the ``fig11a`` request tokens
+#: kills half the first processing attempts and every plan converges
+#: within the default resubmission budget, so the during-kill phase
+#: always completes (the decisions are pure functions of the seed and
+#: token — rerunning the bench replays the identical failure schedule).
+RECOVERY_CHAOS_SEED = 2
+RECOVERY_KILL_RATE = 0.5
+
+#: Seeds for the untimed warm-up round of each recovery phase, chosen
+#: so the chaos policy above never kills them (their tokens draw clean
+#: on every attempt): warm-up cannot leak deaths into the timed phase.
+RECOVERY_WARM_SEEDS = (115, 127, 128, 153)
+
 #: v4: adds ``service_matrix`` (concurrent request throughput through
 #: the ``repro serve`` planes vs serialized one-shot runs).
-SCHEMA = 4
+#: v5: adds ``recovery_matrix`` (steady vs during-kill throughput on
+#: the supervised process pool, time-to-recover after a breaker trip).
+SCHEMA = 5
 
 
 def _reset_shared_state() -> None:
@@ -309,10 +331,190 @@ def run_service_matrix() -> dict:
     }
 
 
+def run_recovery_matrix() -> dict:
+    """Process-pool throughput under worker kills, and breaker recovery.
+
+    Three phases through the in-process service, all on the process
+    compute plane:
+
+    * **steady** — the service-matrix workload with healthy workers:
+      the baseline the degraded phases are measured against.
+    * **during_kill** — the identical workload under a seeded
+      :class:`~repro.chaos.ChaosPolicy` that ``os._exit``\\ s workers
+      mid-solve on roughly half the first processing attempts.  The
+      supervisor replaces the dead workers and resubmits their plans,
+      so every request still completes; the throughput ratio against
+      steady state is the price of that supervision.
+    * **breaker_trip** — one request against a pool whose every attempt
+      dies with no restart budget.  The pool breaks, the circuit
+      breaker trips the service down to the thread rung, and the plan
+      is re-executed there.  ``time_to_recover_s`` is the full span
+      from submission to the successful response — what a client
+      actually waits through a trip.
+    """
+    import asyncio
+
+    from repro.chaos import ChaosPolicy
+    from repro.engine.service import EngineService, ServeOptions
+    from repro.engine.warm import clear_warm_contexts
+
+    name = SERVICE_EXPERIMENT
+    seeds = list(range(SERVICE_REQUESTS))
+
+    def drive(options: "ServeOptions") -> tuple[list[float], float, dict]:
+        _reset_shared_state()
+        clear_warm_contexts()
+
+        async def go() -> tuple[list[float], float, dict]:
+            service = EngineService(options)
+            try:
+                latencies = [0.0] * len(seeds)
+
+                async def one(index: int, seed: int) -> None:
+                    start = time.perf_counter()
+                    doc = await service.submit(
+                        {"op": "run", "experiment": name, "seed": seed}
+                    )
+                    if not doc.get("ok"):
+                        raise RuntimeError(f"service request failed: {doc}")
+                    latencies[index] = time.perf_counter() - start
+
+                # Untimed warm-up round first, one request per worker:
+                # the initial requests absorb worker spawn and
+                # per-worker warm-context costs, which would otherwise
+                # charge pool boot to the steady phase and make the
+                # kill phase look *faster* than healthy.  The warm-up
+                # seeds are ones the recovery chaos policy never kills,
+                # so the during-kill death/requeue counters only count
+                # the timed round.
+                warmups = await asyncio.gather(
+                    *(
+                        service.submit(
+                            {"op": "run", "experiment": name, "seed": seed}
+                        )
+                        for seed in RECOVERY_WARM_SEEDS[:SERVICE_WORKERS]
+                    )
+                )
+                for warm in warmups:
+                    if not warm.get("ok"):
+                        raise RuntimeError(f"warm-up request failed: {warm}")
+
+                start = time.perf_counter()
+                await asyncio.gather(
+                    *(one(i, seed) for i, seed in enumerate(seeds))
+                )
+                wall = time.perf_counter() - start
+                stats = service.stats()
+            finally:
+                await service.close(drain=True)
+            return latencies, wall, stats
+
+        return asyncio.run(go())
+
+    steady_options = ServeOptions(
+        cache_dir=None,
+        compute_plane="process",
+        compute_workers=SERVICE_WORKERS,
+        solver=DEFAULT_MATRIX_SOLVER,
+    )
+    latencies, wall, _ = drive(steady_options)
+    steady = _latency_stats(latencies, wall)
+
+    policy = ChaosPolicy(
+        seed=RECOVERY_CHAOS_SEED,
+        kill_worker_rate=RECOVERY_KILL_RATE,
+        kill_delay_ms=0,
+    )
+    kill_options = ServeOptions(
+        cache_dir=None,
+        compute_plane="process",
+        compute_workers=SERVICE_WORKERS,
+        restart_budget=16,
+        solver=DEFAULT_MATRIX_SOLVER,
+        chaos=policy,
+    )
+    latencies, wall, stats = drive(kill_options)
+    during_kill = _latency_stats(latencies, wall)
+    counters = stats.get("counters", {})
+    during_kill["worker_deaths"] = counters.get("compute.worker_deaths", 0)
+    during_kill["requeues"] = counters.get("compute.requeues", 0)
+
+    # Breaker trip: one worker, no restart budget, every attempt killed.
+    # The lone request must ride the ladder down to the thread rung.
+    _reset_shared_state()
+    clear_warm_contexts()
+
+    async def trip() -> tuple[float, dict]:
+        service = EngineService(
+            ServeOptions(
+                cache_dir=None,
+                compute_plane="process",
+                compute_workers=1,
+                restart_budget=0,
+                breaker_cooldown_s=60.0,
+                solver=DEFAULT_MATRIX_SOLVER,
+                chaos=ChaosPolicy(
+                    seed=0, kill_worker_rate=1.0, kill_delay_ms=0
+                ),
+            )
+        )
+        try:
+            start = time.perf_counter()
+            doc = await service.submit(
+                {"op": "run", "experiment": name, "seed": 0}
+            )
+            elapsed = time.perf_counter() - start
+            if not doc.get("ok"):
+                raise RuntimeError(f"post-trip request failed: {doc}")
+            stats = service.stats()
+        finally:
+            await service.close(drain=True)
+        return elapsed, stats
+
+    recover_s, trip_stats = asyncio.run(trip())
+    breaker = trip_stats.get("breaker", {})
+
+    ratio = (
+        round(during_kill["requests_per_s"] / steady["requests_per_s"], 3)
+        if steady["requests_per_s"]
+        else 0.0
+    )
+    print(
+        f"recovery:  {SERVICE_REQUESTS} x {name} steady "
+        f"{steady['wall_s']:7.3f}s -> during-kill "
+        f"{during_kill['wall_s']:7.3f}s "
+        f"({during_kill['worker_deaths']} worker deaths, "
+        f"throughput ratio {ratio:.2f}); breaker trip answered in "
+        f"{recover_s:.3f}s on the {breaker.get('rung', '?')} rung",
+        flush=True,
+    )
+    return {
+        "workload": (
+            f"{SERVICE_REQUESTS} concurrent '{name}' requests on the "
+            "supervised process pool: healthy, under seeded worker "
+            "kills, and across a breaker trip to the thread rung"
+        ),
+        "experiment": name,
+        "requests": SERVICE_REQUESTS,
+        "compute_workers": SERVICE_WORKERS,
+        "solver": DEFAULT_MATRIX_SOLVER,
+        "chaos_spec": policy.spec(),
+        "steady": steady,
+        "during_kill": during_kill,
+        "throughput_ratio": ratio,
+        "breaker_trip": {
+            "time_to_recover_s": round(recover_s, 6),
+            "trips": breaker.get("trips", 0),
+            "rung_after": breaker.get("rung", ""),
+        },
+    }
+
+
 def build_document(
     entries: list[dict],
     solver_entries: list[dict],
     service_matrix: dict,
+    recovery_matrix: dict,
     quick: bool,
 ) -> dict:
     return {
@@ -333,6 +535,7 @@ def build_document(
             "entries": solver_entries,
         },
         "service_matrix": service_matrix,
+        "recovery_matrix": recovery_matrix,
         "totals": {
             "experiments": len(entries),
             "wall_s": round(sum(e["wall_s"] for e in entries), 6),
@@ -351,7 +554,7 @@ def validate(document: dict) -> None:
     check(isinstance(document, dict), "top level must be an object")
     expected = {
         "schema", "date", "host", "version", "quick", "entries",
-        "solver_matrix", "service_matrix", "totals",
+        "solver_matrix", "service_matrix", "recovery_matrix", "totals",
     }
     check(set(document) == expected, f"top-level keys must be {sorted(expected)}")
     check(document["schema"] == SCHEMA, f"schema must be {SCHEMA}")
@@ -486,6 +689,79 @@ def validate(document: dict) -> None:
         isinstance(service_matrix["speedup_vs_serialized"], (int, float))
         and service_matrix["speedup_vs_serialized"] > 0,
         "speedup_vs_serialized must be a positive number",
+    )
+    recovery = document["recovery_matrix"]
+    recovery_keys = {
+        "workload", "experiment", "requests", "compute_workers", "solver",
+        "chaos_spec", "steady", "during_kill", "throughput_ratio",
+        "breaker_trip",
+    }
+    check(
+        isinstance(recovery, dict) and set(recovery) == recovery_keys,
+        f"recovery_matrix keys must be {sorted(recovery_keys)}",
+    )
+    check(
+        isinstance(recovery["requests"], int) and recovery["requests"] > 0,
+        "recovery_matrix.requests must be a positive integer",
+    )
+    check(
+        recovery["solver"] in available_solvers(),
+        "recovery_matrix.solver must be a registered backend",
+    )
+    check(
+        isinstance(recovery["chaos_spec"], str) and recovery["chaos_spec"],
+        "recovery_matrix.chaos_spec must be a non-empty spec string",
+    )
+    for mode in ("steady", "during_kill"):
+        mode_stats = recovery[mode]
+        mode_keys = {"wall_s", "requests_per_s", "p50_s", "p99_s"}
+        if mode == "during_kill":
+            mode_keys |= {"worker_deaths", "requeues"}
+        check(
+            isinstance(mode_stats, dict) and set(mode_stats) == mode_keys,
+            f"recovery_matrix.{mode} keys must be {sorted(mode_keys)}",
+        )
+        for field in mode_keys:
+            check(
+                isinstance(mode_stats[field], (int, float))
+                and mode_stats[field] >= 0,
+                f"recovery_matrix.{mode}.{field} must be a non-negative "
+                "number",
+            )
+        check(
+            mode_stats["p50_s"] <= mode_stats["p99_s"],
+            f"recovery_matrix.{mode}: p50 must not exceed p99",
+        )
+    check(
+        recovery["during_kill"]["worker_deaths"] >= 1,
+        "the during-kill phase must record at least one worker death "
+        "(otherwise the chaos policy never fired and the phase measured "
+        "nothing)",
+    )
+    check(
+        isinstance(recovery["throughput_ratio"], (int, float))
+        and recovery["throughput_ratio"] > 0,
+        "recovery_matrix.throughput_ratio must be a positive number",
+    )
+    breaker_trip = recovery["breaker_trip"]
+    check(
+        isinstance(breaker_trip, dict)
+        and set(breaker_trip) == {"time_to_recover_s", "trips", "rung_after"},
+        "breaker_trip keys must be [rung_after, time_to_recover_s, trips]",
+    )
+    check(
+        isinstance(breaker_trip["time_to_recover_s"], (int, float))
+        and breaker_trip["time_to_recover_s"] > 0,
+        "breaker_trip.time_to_recover_s must be a positive number",
+    )
+    check(
+        isinstance(breaker_trip["trips"], int) and breaker_trip["trips"] >= 1,
+        "breaker_trip.trips must record at least one breaker trip",
+    )
+    check(
+        breaker_trip["rung_after"] in ("thread", "inline"),
+        "after a trip from the process rung the service must sit on a "
+        "lower rung",
     )
     totals = document["totals"]
     check(
@@ -630,8 +906,10 @@ def main(argv: list[str] | None = None) -> int:
     entries = run_matrix(matrix, args.matrix_solver)
     solver_entries = run_solver_matrix()
     service_matrix = run_service_matrix()
+    recovery_matrix = run_recovery_matrix()
     document = build_document(
-        entries, solver_entries, service_matrix, quick=args.quick
+        entries, solver_entries, service_matrix, recovery_matrix,
+        quick=args.quick,
     )
     validate(document)  # never emit a document the validator rejects
     out = pathlib.Path(

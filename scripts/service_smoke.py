@@ -7,7 +7,9 @@ payload against an in-process batch-mode run of the same experiment —
 the two front doors must produce identical documents (the service
 default solver is ``reference``, so parity is exact, not approximate).
 Finishes with a graceful ``shutdown`` op and asserts the subprocess
-drains and exits cleanly.
+drains and exits cleanly with no leaked child processes (the serve
+subprocess gets a marker environment variable its whole process tree
+inherits; after exit, nothing on the machine may still carry it).
 
 Usage::
 
@@ -22,6 +24,7 @@ import pathlib
 import re
 import subprocess
 import sys
+import uuid
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(_REPO_ROOT / "src"))
@@ -37,6 +40,21 @@ EXPERIMENTS = ("fig01e", "fig04", "fig11a")
 _LISTENING = re.compile(r"listening on (?P<host>[^:]+):(?P<port>\d+)")
 
 
+def _leaked_processes(marker: str) -> "list[int]":
+    """PIDs (other than ours) whose environment carries ``marker``."""
+    leaked = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit() or int(entry) == os.getpid():
+            continue
+        try:
+            environ = pathlib.Path("/proc", entry, "environ").read_bytes()
+        except OSError:
+            continue
+        if marker.encode() in environ:
+            leaked.append(int(entry))
+    return leaked
+
+
 def main() -> int:
     # Batch-mode baselines first, in this process: at this point no
     # service (and so no coalescer) exists anywhere, making this the
@@ -49,6 +67,8 @@ def main() -> int:
         for name in EXPERIMENTS
     }
 
+    marker = f"REPRO_SERVICE_SMOKE={uuid.uuid4().hex}"
+    marker_name, marker_value = marker.split("=", 1)
     process = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve",
@@ -58,7 +78,11 @@ def main() -> int:
         stderr=subprocess.STDOUT,
         text=True,
         cwd=_REPO_ROOT,
-        env={**os.environ, "PYTHONPATH": str(_REPO_ROOT / "src")},
+        env={
+            **os.environ,
+            "PYTHONPATH": str(_REPO_ROOT / "src"),
+            marker_name: marker_value,
+        },
     )
     try:
         banner = process.stdout.readline()
@@ -108,6 +132,12 @@ def main() -> int:
             failures += 1
         else:
             print("service drained and exited cleanly")
+        leaked = _leaked_processes(marker)
+        if leaked:
+            print(f"FAIL: leaked child processes: {leaked}", file=sys.stderr)
+            failures += 1
+        else:
+            print("no leaked child processes")
         return 1 if failures else 0
     finally:
         if process.poll() is None:

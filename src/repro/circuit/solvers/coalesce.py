@@ -44,7 +44,7 @@ import threading
 import time
 from typing import TYPE_CHECKING, Sequence
 
-from ... import obs
+from ... import chaos, obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
@@ -156,6 +156,10 @@ class SolveCoalescer:
                 self._wake.wait()
             if not self._queue:
                 return []
+        # Chaos injection (no-op without a policy): stall the dispatch
+        # window so submitters pile up behind a slow dispatcher — the
+        # failure mode a wedged dispatcher thread would produce.
+        chaos.stall_point("coalesce.stall")
         if self.window_s > 0:
             # Collect without holding the lock: submitters keep landing
             # in the queue while the window runs out.

@@ -8,6 +8,18 @@ client per thread (sockets are cheap; the service multiplexes) or use
 pool and is what the benchmark harness and the CI smoke test drive
 saturation with.
 
+Retries: transient failures — connection refused (service still
+booting or restarting), connection reset (service died mid-request),
+and the service's retryable ``unavailable`` error code (load shedding
+while its circuit breaker is open) — are retried with exponential
+backoff and *full jitter* (each delay is uniform on ``[0, cap]``, so a
+thundering herd of clients re-arrives spread out instead of in lock
+step).  Every ``run`` request carries an idempotency key (``rid``):
+if a retry re-delivers a request the service already executed, the
+service replays the recorded response instead of running the
+experiment twice, so retrying after a mid-request connection loss is
+always safe.
+
 Example::
 
     from repro.client import ServiceClient
@@ -20,11 +32,45 @@ Example::
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Any, Sequence
 
-__all__ = ["ServiceClient", "ServiceError", "submit_many"]
+__all__ = ["ClientRetry", "ServiceClient", "ServiceError", "submit_many"]
+
+#: Error codes the service marks as transient: the request was *not*
+#: executed (shed or failed on infrastructure), so retrying is safe
+#: even without an idempotency key.
+RETRYABLE_CODES = ("unavailable",)
+
+
+@dataclass(frozen=True)
+class ClientRetry:
+    """Client-side retry schedule: exponential backoff with full jitter.
+
+    Attempt ``n`` (0-based) sleeps ``uniform(0, min(cap_s,
+    base_s * 2**n))`` before retrying — AWS-style full jitter, which
+    minimises synchronised re-arrival when many clients retry at once.
+    ``retries=0`` disables retrying entirely.
+    """
+
+    retries: int = 4
+    base_s: float = 0.05
+    cap_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.base_s < 0 or self.cap_s < 0:
+            raise ValueError("backoff base/cap must be >= 0")
+
+    def delay(self, attempt: int, rng: "random.Random") -> float:
+        """The jittered sleep before retry ``attempt`` (0-based)."""
+        return rng.uniform(0.0, min(self.cap_s, self.base_s * 2.0**attempt))
 
 
 class ServiceError(RuntimeError):
@@ -34,6 +80,10 @@ class ServiceError(RuntimeError):
         super().__init__(f"{code}: {message}")
         self.code = code
 
+    @property
+    def retryable(self) -> bool:
+        return self.code in RETRYABLE_CODES
+
 
 class ServiceClient:
     """One connection to a running repro service.
@@ -42,6 +92,10 @@ class ServiceClient:
     and blocks for the next response line, so interleaving two threads
     on one socket would cross-deliver responses.  Use one client per
     thread (see :func:`submit_many`).
+
+    The underlying socket is dialed lazily and redialed transparently:
+    a dropped connection is re-established on the next request (subject
+    to the retry schedule), so a client outlives service restarts.
     """
 
     def __init__(
@@ -49,32 +103,105 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 7327,
         timeout_s: "float | None" = 300.0,
+        retry: "ClientRetry | None" = None,
+        rng: "random.Random | None" = None,
     ) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._reader = self._sock.makefile("rb")
+        self.timeout_s = timeout_s
+        self.retry = ClientRetry() if retry is None else retry
+        self._rng = rng or random.Random()
+        self._sock: "socket.socket | None" = None
+        self._reader = None
         self._request_id = 0
+        self._connect()  # fail fast (after retries) on a dead endpoint
+
+    # -- connection --------------------------------------------------------------
+
+    def _connect(self) -> None:
+        """Dial the service, retrying refused connections with backoff."""
+        attempt = 0
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                )
+                self._reader = self._sock.makefile("rb")
+                return
+            except OSError:
+                self._drop_connection()
+                if attempt >= self.retry.retries:
+                    raise
+                time.sleep(self.retry.delay(attempt, self._rng))
+                attempt += 1
+
+    def _drop_connection(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     # -- protocol ----------------------------------------------------------------
 
-    def request(self, doc: dict) -> dict:
-        """Send one request document and block for its response."""
-        self._request_id += 1
-        doc = {"id": self._request_id, **doc}
+    def _exchange(self, doc: dict) -> dict:
+        """One send/receive round trip on the current connection."""
+        if self._sock is None:
+            self._connect()
+        assert self._sock is not None and self._reader is not None
         self._sock.sendall(
             json.dumps(doc, separators=(",", ":")).encode() + b"\n"
         )
         line = self._reader.readline()
         if not line:
             raise ConnectionError("service closed the connection")
-        response = json.loads(line)
-        if not response.get("ok"):
-            error = response.get("error") or {}
-            raise ServiceError(
-                error.get("code", "unknown"), error.get("message", "")
-            )
-        return response
+        return json.loads(line)
+
+    def request(self, doc: dict, retryable: bool = True) -> dict:
+        """Send one request document and block for its response.
+
+        Connection failures and ``unavailable`` responses are retried
+        per the client's :class:`ClientRetry` schedule when
+        ``retryable`` — callers sending a ``run`` without an
+        idempotency key should pass ``retryable=False`` if a double
+        execution would be unacceptable (:meth:`run` always attaches a
+        ``rid``, so its retries are idempotent by construction).
+        """
+        self._request_id += 1
+        doc = {"id": self._request_id, **doc}
+        attempt = 0
+        while True:
+            try:
+                response = self._exchange(doc)
+            except (ConnectionError, OSError):
+                self._drop_connection()
+                if not retryable or attempt >= self.retry.retries:
+                    raise
+                time.sleep(self.retry.delay(attempt, self._rng))
+                attempt += 1
+                continue
+            if not response.get("ok"):
+                error = response.get("error") or {}
+                failure = ServiceError(
+                    error.get("code", "unknown"), error.get("message", "")
+                )
+                if (
+                    retryable
+                    and failure.retryable
+                    and attempt < self.retry.retries
+                ):
+                    time.sleep(self.retry.delay(attempt, self._rng))
+                    attempt += 1
+                    continue
+                raise failure
+            return response
 
     # -- operations --------------------------------------------------------------
 
@@ -88,15 +215,22 @@ class ServiceClient:
         fault_rate: "float | None" = None,
         deadline_s: "float | None" = None,
         no_cache: bool = False,
+        rid: "str | None" = None,
     ) -> dict:
         """Run an experiment; returns the full response document.
 
         The interesting part is ``response["result"]`` — the same
         ``{experiment, meta, payload}`` document a batch ``--json`` run
         writes.  Raises :class:`ServiceError` on rejection, deadline
-        expiry, or failure.
+        expiry, or failure.  A fresh idempotency key (``rid``) is
+        attached unless the caller provides one, so retries after a
+        lost connection can never execute the experiment twice.
         """
-        doc: dict[str, Any] = {"op": "run", "experiment": experiment}
+        doc: dict[str, Any] = {
+            "op": "run",
+            "experiment": experiment,
+            "rid": rid or uuid.uuid4().hex,
+        }
         if seed:
             doc["seed"] = seed
         if solver is not None:
@@ -128,10 +262,7 @@ class ServiceClient:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        self._drop_connection()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -146,17 +277,22 @@ def submit_many(
     port: int = 7327,
     concurrency: int = 8,
     timeout_s: "float | None" = 300.0,
+    retry: "ClientRetry | None" = None,
 ) -> "list[dict | Exception]":
     """Fan request documents out over concurrent connections.
 
     Each worker thread owns its own connection; results come back in
     request order, with failures (:class:`ServiceError`,
     ``ConnectionError``) delivered in-place instead of raised, so one
-    rejected request does not hide the other responses.
+    rejected request does not hide the other responses.  ``run``
+    documents without a ``rid`` get one attached, making the per-worker
+    retries idempotent.
     """
 
     def _one(doc: dict) -> dict:
-        with ServiceClient(host, port, timeout_s=timeout_s) as client:
+        if doc.get("op", "run") == "run" and "rid" not in doc:
+            doc["rid"] = uuid.uuid4().hex
+        with ServiceClient(host, port, timeout_s=timeout_s, retry=retry) as client:
             return client.request(doc)
 
     workers = max(1, min(concurrency, len(requests) or 1))

@@ -34,7 +34,10 @@ from .artifact import ExperimentResult
 from .cache import DEFAULT_CACHE_DIR, NullCache, ResultCache, cache_key
 from .compute import (
     ComputeBackend,
+    ComputeJobError,
     InlineBackend,
+    PoolBrokenError,
+    ProcessPoolBackend,
     ThreadPoolBackend,
     inline_backend,
 )
@@ -62,6 +65,7 @@ from .warm import clear_warm_contexts, default_context, warm_context
 
 __all__ = [
     "ComputeBackend",
+    "ComputeJobError",
     "DEFAULT_CACHE_DIR",
     "EngineService",
     "Experiment",
@@ -70,6 +74,8 @@ __all__ = [
     "InlineBackend",
     "NullCache",
     "ParallelExecutor",
+    "PoolBrokenError",
+    "ProcessPoolBackend",
     "ResultCache",
     "RetryPolicy",
     "RunContext",

@@ -34,7 +34,7 @@ import threading
 from pathlib import Path
 from typing import Any
 
-from .. import obs
+from .. import chaos, obs
 
 __all__ = [
     "MISSING",
@@ -250,6 +250,11 @@ class ResultCache:
         Corrupt or version-skewed entries are quarantined and miss.
         """
         path = self._path(key)
+        # Chaos injection (no-op unless a policy is installed): corrupt
+        # the entry *before* the envelope check so the quarantine
+        # machinery below — not special-cased chaos handling — absorbs
+        # the damage, proving the real recovery path under live traffic.
+        chaos.corrupt_point(path)
         try:
             with open(path, "rb") as handle:
                 envelope = pickle.load(handle)

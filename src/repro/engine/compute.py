@@ -7,7 +7,7 @@ run drivers themselves; they build plans and submit them here, so the
 execution semantics (caching, partial results, observability) are
 identical whichever front door a request came through.
 
-Two backends ship:
+Three backends ship:
 
 * :class:`InlineBackend` executes in the calling thread.  This is the
   batch CLI's path and keeps ``run_experiment`` synchronous and
@@ -21,24 +21,52 @@ Two backends ship:
   experiment, cell-level fan-out still rides the context's executor —
   the existing process pool sits *underneath* this backend, it is not
   replaced by it.
+* :class:`ProcessPoolBackend` executes whole plans in supervised worker
+  *processes* over warm per-worker contexts, so CPU-bound request
+  streams scale past one core and a crashed or wedged worker
+  interpreter cannot take the service down.  A supervisor thread does
+  heartbeat/health checks, detects worker deaths and solves wedged
+  past their deadline, restarts workers under a bounded budget with
+  jittered :class:`~repro.engine.executor.RetryPolicy` backoff, and
+  requeues in-flight plans (plan execution is idempotent: pure inputs,
+  cache-keyed outputs).  When the budget is exhausted the pool declares
+  itself broken — every pending future fails with
+  :class:`PoolBrokenError` and further submits refuse — which is the
+  signal the service's degradation ladder trips on.
 
 Worker threads each collect observability into a per-request
 collector (activation is thread-local, see :mod:`repro.obs.collector`)
 and merge the snapshot into the backend's aggregate under a lock, so
-service-wide counters survive request interleaving.
+service-wide counters survive request interleaving.  Pool workers ship
+picklable snapshots (and solved profile artefacts) back with each
+result, exactly like :class:`~repro.engine.executor.ParallelExecutor`
+workers do.
 """
 
 from __future__ import annotations
 
+import itertools
+import multiprocessing
+import os
+import random
+from multiprocessing import connection as mp_connection
 import threading
+import time
+import traceback as traceback_module
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
-from .. import obs
+from .. import chaos, obs
+from .executor import RetryPolicy, _drain_profile_exports
 from .plan import execute_plan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.experiments import PerfSettings
+    from ..config import SystemConfig
+    from ..faults.model import FaultModel
     from ..obs.collector import Snapshot
     from .artifact import ExperimentResult
     from .context import RunContext
@@ -46,10 +74,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "ComputeBackend",
+    "ComputeJobError",
     "InlineBackend",
+    "PoolBrokenError",
+    "ProcessPoolBackend",
     "ThreadPoolBackend",
     "inline_backend",
 ]
+
+
+class PoolBrokenError(RuntimeError):
+    """The process pool cannot execute this plan (infrastructure failure).
+
+    Raised on submit once the pool's restart budget is exhausted, and
+    delivered on futures whose plan was lost to worker deaths more
+    times than the resubmission budget allows.  Plans failed this way
+    were never *computed* wrong — resubmitting them elsewhere (the
+    service's thread/inline fallback rungs) is always safe.
+    """
+
+
+class ComputeJobError(RuntimeError):
+    """A plan raised inside a pool worker (a real task failure).
+
+    Carries the original exception type/message plus the worker-side
+    traceback; unlike :class:`PoolBrokenError` this is *not* an
+    infrastructure fault, so callers do not retry it on another rung.
+    """
+
+    def __init__(self, error_type: str, message: str, tb: str = "") -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.tb = tb
 
 
 class ComputeBackend(ABC):
@@ -180,3 +236,614 @@ class ThreadPoolBackend(ComputeBackend):
 
             uninstall_coalescer(self._coalescer)
             self._coalescer.close()
+
+
+# -- supervised process pool ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _JobSpec:
+    """Everything a worker process needs to rebuild and run one plan.
+
+    Plans themselves carry a live registry record (an unpicklable-ish
+    closure under ``spawn``), so the wire format is the *request*: the
+    worker resolves it against its own registry and warm-context table,
+    which is exactly what makes resubmission idempotent — the same spec
+    always keys the same context, the same cache entry, and the same
+    deterministic drivers.
+    """
+
+    name: str
+    config: "SystemConfig | None"
+    seed: int
+    solver: "str | None"
+    faults: "FaultModel | None"
+    cache_dir: "str | None"
+    settings: "PerfSettings | None"
+    strict: bool
+    #: Chaos identity of this execution: (plan name, seed, attempt).
+    #: The attempt is part of the token so a resubmitted plan draws a
+    #: *fresh* kill decision — deterministic, but convergent.
+    chaos_token: "tuple | None" = None
+
+
+def _spec_for(
+    plan: "ExperimentPlan", context: "RunContext", attempt: int = 0
+) -> _JobSpec:
+    cache = context.cache
+    cache_dir = str(cache.root) if getattr(cache, "enabled", False) else None
+    return _JobSpec(
+        name=plan.name,
+        config=context.config,
+        seed=context.seed,
+        solver=context.solver,
+        faults=context.faults,
+        cache_dir=cache_dir,
+        settings=plan.settings,
+        strict=context.strict,
+        chaos_token=(plan.name, context.seed, attempt),
+    )
+
+
+def _execute_spec(spec: _JobSpec) -> tuple:
+    """Run one job spec in this (worker) process; returns
+    ``(result, obs_snapshot, profile_exports)``."""
+    from .plan import build_plan
+    from .registry import ensure_loaded
+    from .warm import warm_context
+
+    ensure_loaded()
+    context = warm_context(
+        config=spec.config,
+        seed=spec.seed,
+        solver=spec.solver,
+        faults=spec.faults,
+        cache_dir=spec.cache_dir,
+        strict=spec.strict,
+    )
+    plan = build_plan(spec.name, context, spec.settings)
+    local = obs.Collector()
+    with obs.collecting(local):
+        with obs.span("compute.plan", name=plan.name):
+            result = execute_plan(plan, context)
+    return result, local.snapshot(), _drain_profile_exports()
+
+
+def _pool_worker_main(
+    worker_id: int,
+    task_queue,
+    result_conn,
+    heartbeat_s: float,
+    chaos_policy,
+) -> None:
+    """Worker process loop: execute job specs until the ``None`` sentinel.
+
+    A daemon heartbeat thread proves the interpreter is still
+    scheduling threads — a worker wedged in a C loop (or paused by the
+    chaos harness) stops beating, and the supervisor recycles it.
+
+    Results and heartbeats ride this worker's *private* pipe, not a
+    queue shared with its siblings.  A shared ``mp.Queue`` write lock
+    is a pool-wide hazard: a worker that dies abruptly (chaos
+    ``os._exit``, OOM kill) while its queue feeder thread holds the
+    cross-process semaphore wedges every other worker's puts forever —
+    their heartbeats stop, the supervisor declares them silent, and one
+    injected kill cascades into a full pool loss.  With one pipe per
+    worker, dying mid-write can only corrupt that worker's own channel,
+    which the supervisor reads as EOF: exactly a worker death, fully
+    contained.  ``send_lock`` is a plain in-process lock (main thread
+    vs heartbeat thread) and dies with the process, harming nobody.
+    """
+    if chaos_policy is not None:
+        chaos.install(chaos_policy)
+    send_lock = threading.Lock()
+
+    def post(message: tuple) -> None:
+        try:
+            with send_lock:
+                result_conn.send(message)
+        except (BrokenPipeError, OSError):  # supervisor is gone
+            os._exit(0)
+
+    def beat() -> None:
+        while True:
+            time.sleep(heartbeat_s)
+            try:
+                with send_lock:
+                    result_conn.send(("beat", worker_id, None))
+            except Exception:  # noqa: BLE001 - pipe torn down at shutdown
+                return
+
+    threading.Thread(
+        target=beat, daemon=True, name=f"repro-pool-beat-{worker_id}"
+    ).start()
+    post(("ready", worker_id, None))
+    while True:
+        message = task_queue.get()
+        if message is None:
+            break
+        job_id, spec = message
+        kill_timer = chaos.kill_point(spec.chaos_token)
+        try:
+            payload = _execute_spec(spec)
+        except BaseException as exc:  # noqa: BLE001 - shipped to supervisor
+            tb = "".join(
+                traceback_module.format_exception(
+                    type(exc), exc, exc.__traceback__, limit=8
+                )
+            )
+            post(
+                ("error", worker_id, (job_id, type(exc).__name__, str(exc), tb))
+            )
+        else:
+            post(("done", worker_id, (job_id, payload)))
+        finally:
+            # Disarm a kill aimed at this job once it is over: a stale
+            # timer firing during the *next* job would charge an
+            # innocent plan's resubmission budget.
+            if kill_timer is not None:
+                kill_timer.cancel()
+    post(("bye", worker_id, None))
+
+
+class _Job:
+    __slots__ = ("id", "spec", "future", "attempts", "dispatched")
+
+    def __init__(self, job_id: int, spec: _JobSpec) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.future: Future = Future()
+        self.attempts = 0  # resubmissions consumed by worker deaths
+        self.dispatched = False
+
+
+class _PoolWorker:
+    __slots__ = ("wid", "process", "task_queue", "conn", "job_id",
+                 "started_at", "last_beat")
+
+    def __init__(self, wid: int, process, task_queue, conn) -> None:
+        self.wid = wid
+        self.process = process
+        self.task_queue = task_queue
+        self.conn = conn  # supervisor's end of the worker's result pipe
+        self.job_id: "int | None" = None
+        self.started_at = 0.0
+        self.last_beat = time.monotonic()
+
+
+class ProcessPoolBackend(ComputeBackend):
+    """Execute plans in supervised worker processes over warm contexts.
+
+    ``workers`` is the pool size the supervisor maintains.  Each worker
+    keeps its own warm-context table, so repeated requests with equal
+    parameters reuse one model cache *per worker* (cross-worker profile
+    sharing rides the ship-back path, like the executor's).
+
+    Failure containment, in escalation order:
+
+    * **Worker death** (crash, OOM kill, chaos ``os._exit``): the
+      in-flight plan is requeued — at most ``resubmit_limit`` times,
+      after which its future fails with :class:`PoolBrokenError` — and
+      the worker is replaced while ``restart_budget`` lasts, with
+      jittered exponential backoff between restarts
+      (:class:`~repro.engine.executor.RetryPolicy`), so a crash loop
+      cannot hot-spin the supervisor.
+    * **Wedged solve**: a worker holding one plan past
+      ``job_deadline_s`` — or one whose heartbeat goes silent for
+      ``heartbeat_s * heartbeat_misses`` — is terminated and handled as
+      a death.
+    * **Budget exhausted**: with no live workers left and no restarts
+      remaining, the pool is *broken*: every queued/in-flight future
+      fails with :class:`PoolBrokenError` and further submits raise it.
+      Plans failed this way were never partially applied anywhere, so
+      the caller may resubmit them on another backend.
+
+    A ``chaos`` policy, when given, is shipped to every worker (arming
+    the ``worker.kill`` site inside the job execution path) and armed
+    in the supervisor for the ``future.drop`` / ``future.delay`` sites.
+    """
+
+    #: Supervisor wake-up interval: bounds dispatch latency and the
+    #: granularity of liveness/deadline checks.
+    _TICK_S = 0.02
+
+    def __init__(
+        self,
+        workers: int = 2,
+        restart_budget: "int | None" = None,
+        resubmit_limit: int = 2,
+        heartbeat_s: float = 0.25,
+        heartbeat_misses: int = 40,
+        job_deadline_s: "float | None" = None,
+        restart_policy: "RetryPolicy | None" = None,
+        chaos_policy: "chaos.ChaosPolicy | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if resubmit_limit < 0:
+            raise ValueError(
+                f"resubmit_limit must be >= 0, got {resubmit_limit}"
+            )
+        self.workers = workers
+        self.restart_budget = (
+            2 * workers if restart_budget is None else restart_budget
+        )
+        if self.restart_budget < 0:
+            raise ValueError(
+                f"restart_budget must be >= 0, got {self.restart_budget}"
+            )
+        self.resubmit_limit = resubmit_limit
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_misses = heartbeat_misses
+        self.job_deadline_s = job_deadline_s
+        self.restart_policy = restart_policy or RetryPolicy(
+            retries=0, backoff_s=0.05, backoff_factor=2.0, jitter=0.25
+        )
+        self._chaos = (
+            None
+            if chaos_policy is None or chaos_policy.is_null
+            else chaos_policy
+        )
+        self._ctx = multiprocessing.get_context()
+        self._lock = threading.RLock()
+        self._conn_failed: set[int] = set()  # wids whose pipe broke/EOFed
+        self._jobs: dict[int, _Job] = {}
+        self._queue: deque[_Job] = deque()
+        self._pool: dict[int, _PoolWorker] = {}
+        self._next_job = itertools.count()
+        self._next_worker = itertools.count()
+        self._restarts_used = 0
+        self._restart_streak = 0  # consecutive restarts in the current burst
+        self._last_death = 0.0
+        self._restart_rng = random.Random(0xC0FFEE)
+        self._restart_gate = 0.0  # monotonic time before which no respawn
+        self._broken = False
+        self._closing = False
+        self._closed = False
+        self._collector = obs.Collector()
+        self._collector_lock = threading.Lock()
+        with self._lock:
+            for _ in range(workers):
+                self._spawn_worker()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    @property
+    def label(self) -> str:
+        return f"procs[{self.workers}]"
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def alive_workers(self) -> int:
+        with self._lock:
+            return sum(
+                1 for w in self._pool.values() if w.process.is_alive()
+            )
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(
+        self, plan: "ExperimentPlan", context: "RunContext"
+    ) -> "Future[ExperimentResult]":
+        with self._lock:
+            if self._closed or self._closing:
+                raise RuntimeError("compute backend is closed")
+            if self._broken:
+                raise PoolBrokenError(
+                    "process pool is broken (restart budget exhausted)"
+                )
+            job = _Job(next(self._next_job), _spec_for(plan, context))
+            self._jobs[job.id] = job
+            self._queue.append(job)
+            self._note("compute.jobs")
+        return job.future
+
+    def _note(self, name: str, n: int = 1) -> None:
+        with self._collector_lock:
+            self._collector.count(name, n)
+
+    def merge_observations(self, snapshot: "Snapshot") -> None:
+        with self._collector_lock:
+            self._collector.merge(snapshot)
+
+    def stats(self) -> "Snapshot":
+        alive = self.alive_workers()  # before _collector_lock: lock order
+        with self._collector_lock:
+            self._collector.gauge("compute.workers_alive", alive)
+            self._collector.gauge(
+                "compute.restart_budget_left",
+                self.restart_budget - self._restarts_used,
+            )
+            return self._collector.snapshot()
+
+    # -- supervisor ----------------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        wid = next(self._next_worker)
+        task_queue = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(
+                wid,
+                task_queue,
+                send_conn,
+                self.heartbeat_s,
+                self._chaos,
+            ),
+            name=f"repro-pool-{wid}",
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the send end: the worker process now
+        # holds the only writer, so its death surfaces as EOF here.
+        send_conn.close()
+        self._pool[wid] = _PoolWorker(wid, process, task_queue, recv_conn)
+
+    def _supervise(self) -> None:
+        while True:
+            with self._lock:
+                conns = {
+                    w.conn: w.wid
+                    for w in self._pool.values()
+                    if w.wid not in self._conn_failed
+                }
+            if conns:
+                try:
+                    ready = mp_connection.wait(
+                        list(conns), timeout=self._TICK_S
+                    )
+                except OSError:
+                    ready = []
+            else:
+                time.sleep(self._TICK_S)
+                ready = []
+            for conn in ready:
+                wid = conns[conn]
+                while True:
+                    try:
+                        if not conn.poll():
+                            break
+                        message = conn.recv()
+                    # EOF: the worker died (its end is the only writer).
+                    # Any other failure means a corrupt frame from a
+                    # process that died mid-send; both are worker
+                    # deaths, contained to this one pipe.
+                    except Exception:  # noqa: BLE001
+                        with self._lock:
+                            self._conn_failed.add(wid)
+                        break
+                    self._handle_message(message)
+            with self._lock:
+                self._reap_and_restart()
+                self._dispatch()
+                if self._closing and not self._jobs and not self._queue:
+                    break
+        self._shutdown_workers()
+
+    def _handle_message(self, message: tuple) -> None:
+        kind, wid, body = message
+        with self._lock:
+            worker = self._pool.get(wid)
+            if worker is not None:
+                worker.last_beat = time.monotonic()
+            if kind in ("beat", "ready", "bye"):
+                return
+            job_id = body[0]
+            job = self._jobs.pop(job_id, None)
+            if worker is not None and worker.job_id == job_id:
+                worker.job_id = None
+            if job is None or job.future.done():
+                return
+        if kind == "done":
+            result, snapshot, profiles = body[1]
+            if profiles:
+                from ..xpoint.vmap import profile_registry
+
+                absorbed = profile_registry.absorb(profiles)
+                if absorbed:
+                    self._note("profile_cache.shipped", absorbed)
+            if snapshot is not None:
+                self.merge_observations(snapshot)
+            self._resolve(job, result)
+        elif kind == "error":
+            _, error_type, message_text, tb = body
+            self._note("compute.job_errors")
+            job.future.set_exception(
+                ComputeJobError(error_type, message_text, tb)
+            )
+
+    def _resolve(self, job: _Job, result) -> None:
+        """Complete one future, through the chaos future sites if armed."""
+        if self._chaos is not None:
+            if chaos.fires("future.drop"):
+                self._note("compute.chaos_dropped_futures")
+                job.future.set_exception(
+                    chaos.ChaosError("injected compute-future drop")
+                )
+                return
+            if chaos.fires("future.delay"):
+                self._note("compute.chaos_delayed_futures")
+                time.sleep(self._chaos.delay_future_ms / 1000.0)
+        self._note("compute.completed")
+        job.future.set_result(result)
+
+    def _reap_and_restart(self) -> None:
+        """Detect dead/wedged workers, requeue their plans, respawn."""
+        now = time.monotonic()
+        stale_after = self.heartbeat_s * self.heartbeat_misses
+        for wid, worker in list(self._pool.items()):
+            dead = not worker.process.is_alive()
+            if not dead and wid in self._conn_failed:
+                # The pipe broke but the corpse is not reaped yet (or a
+                # live process sent a corrupt frame): finish the job.
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+                dead = True
+            if not dead:
+                wedged = (
+                    worker.job_id is not None
+                    and self.job_deadline_s is not None
+                    and now - worker.started_at > self.job_deadline_s
+                )
+                silent = now - worker.last_beat > stale_after
+                if wedged or silent:
+                    self._note(
+                        "compute.worker_wedged"
+                        if wedged
+                        else "compute.worker_silent"
+                    )
+                    worker.process.terminate()
+                    worker.process.join(timeout=5.0)
+                    dead = True
+            if dead:
+                del self._pool[wid]
+                self._conn_failed.discard(wid)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                self._note("compute.worker_deaths")
+                # A death after a quiet period starts a fresh backoff
+                # burst; deaths inside one burst keep escalating it.
+                if now - self._last_death > 5.0:
+                    self._restart_streak = 0
+                self._last_death = now
+                self._requeue_or_fail(worker)
+                worker.task_queue.close()
+        while (
+            len(self._pool) < self.workers
+            and self._restarts_used < self.restart_budget
+            and not self._broken
+            and now >= self._restart_gate
+        ):
+            self._restarts_used += 1
+            self._restart_streak += 1
+            self._note("compute.worker_restarts")
+            # Jittered exponential backoff between restarts (same
+            # RetryPolicy machinery as task retries): a crash loop backs
+            # off instead of stampeding, and concurrent pools never
+            # synchronise their respawn bursts.
+            self._restart_gate = now + self.restart_policy.delay(
+                min(self._restart_streak, 5), self._restart_rng
+            )
+            self._spawn_worker()
+        if not self._pool and self._restarts_used >= self.restart_budget:
+            self._mark_broken()
+
+    def _requeue_or_fail(self, worker: _PoolWorker) -> None:
+        if worker.job_id is None:
+            return
+        job = self._jobs.get(worker.job_id)
+        worker.job_id = None
+        if job is None or job.future.done():
+            return
+        job.attempts += 1
+        if job.future.cancelled():
+            del self._jobs[job.id]
+            return
+        if job.attempts <= self.resubmit_limit:
+            # Idempotent resubmission: the spec re-keys the same cache
+            # entry and deterministic drivers; only the chaos token
+            # advances so an injected kill draws a fresh decision.
+            job.spec = replace(
+                job.spec,
+                chaos_token=(job.spec.name, job.spec.seed, job.attempts),
+            )
+            self._queue.appendleft(job)
+            self._note("compute.requeues")
+            return
+        del self._jobs[job.id]
+        self._note("compute.job_losses")
+        job.future.set_exception(
+            PoolBrokenError(
+                f"plan {job.spec.name!r} lost to {job.attempts} worker "
+                "death(s); resubmission budget exhausted"
+            )
+        )
+
+    def _mark_broken(self) -> None:
+        if self._broken:
+            return
+        self._broken = True
+        self._note("compute.pool_broken")
+        failed = list(self._queue) + [
+            job for job in self._jobs.values() if job not in self._queue
+        ]
+        self._queue.clear()
+        self._jobs.clear()
+        for job in failed:
+            if not job.future.done():
+                job.future.set_exception(
+                    PoolBrokenError(
+                        "process pool restart budget exhausted; plan "
+                        f"{job.spec.name!r} was not executed"
+                    )
+                )
+
+    def _dispatch(self) -> None:
+        if not self._queue:
+            return
+        for worker in self._pool.values():
+            if not self._queue:
+                return
+            if worker.job_id is not None or not worker.process.is_alive():
+                continue
+            job = self._queue.popleft()
+            if job.future.cancelled():
+                self._jobs.pop(job.id, None)
+                continue
+            if not job.dispatched:
+                if not job.future.set_running_or_notify_cancel():
+                    self._jobs.pop(job.id, None)
+                    continue
+                job.dispatched = True
+            worker.job_id = job.id
+            worker.started_at = time.monotonic()
+            worker.task_queue.put((job.id, job.spec))
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def _shutdown_workers(self) -> None:
+        with self._lock:
+            workers = list(self._pool.values())
+            self._pool.clear()
+        for worker in workers:
+            try:
+                worker.task_queue.put(None)
+            except (ValueError, OSError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for worker in workers:
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.task_queue.close()
+            worker.task_queue.cancel_join_thread()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def close(self, wait: bool = True) -> None:
+        """Drain pending plans, stop the supervisor, reap every worker.
+
+        Every admitted future is resolved before this returns — with a
+        result, a :class:`ComputeJobError`, or a
+        :class:`PoolBrokenError`; none are left pending, and no worker
+        processes survive (the drain-under-failure contract).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._closing = True
+        if wait:
+            self._supervisor.join(timeout=120.0)
+        else:
+            self._supervisor.join(timeout=self._TICK_S)

@@ -15,16 +15,34 @@ connection; match them by ``id``):
 
 ``{"op": "run", "id": 1, "experiment": "fig11a", "seed": 0, ...}``
     Run an experiment.  Optional fields: ``solver``, ``quick``,
-    ``benchmarks``, ``fault_rate``, ``deadline_s``, ``no_cache``.
+    ``benchmarks``, ``fault_rate``, ``deadline_s``, ``no_cache`` and
+    ``rid`` — a client-chosen idempotency key: a retried ``run``
+    carrying the same ``rid`` joins the in-flight execution (or
+    replays the cached successful response) instead of executing the
+    experiment twice.
     Response: ``{"ok": true, "id": 1, "result": {experiment, meta,
     payload}}`` — the exact ``--json`` document of a batch run.
 ``{"op": "ping"}`` / ``{"op": "stats"}`` / ``{"op": "shutdown"}``
     Liveness probe, observability snapshot (queue depth, coalesce
-    counters, request latencies), graceful drain-and-exit.
+    counters, request latencies, breaker/ladder state), graceful
+    drain-and-exit.
 
 Failure envelope: ``{"ok": false, "id": ..., "error": {"code",
 "message"}}`` with codes ``bad-request``, ``unknown-experiment``,
-``rejected`` (admission control), ``deadline`` and ``internal``.
+``rejected`` (admission control; do not retry), ``unavailable``
+(transient infrastructure trouble or load shedding; retry with
+backoff), ``deadline`` and ``internal``.
+
+Graceful degradation: the compute plane is a *ladder* of backends —
+``process`` (supervised worker processes) falls back to ``thread``,
+which falls back to ``inline`` serial execution.  Infrastructure
+failures (:class:`~repro.engine.compute.PoolBrokenError`, injected
+:class:`~repro.chaos.ChaosError` drops) are retried transparently; when
+they repeat within ``breaker_window_s`` the circuit breaker trips, the
+service steps down one rung, and while the breaker is open admission is
+halved (shed requests get the retryable ``unavailable`` code).  No
+admitted request is ever lost to a trip: its plan is resubmitted on the
+new rung.
 """
 
 from __future__ import annotations
@@ -33,20 +51,32 @@ import asyncio
 import json
 import threading
 import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
-from .. import obs
+from .. import chaos, obs
 from .cache import DEFAULT_CACHE_DIR
-from .compute import ThreadPoolBackend
+from .compute import (
+    PoolBrokenError,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+    inline_backend,
+)
 from .plan import build_plan
 from .registry import get_experiment
 from .warm import warm_context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .artifact import ExperimentResult
+    from .compute import ComputeBackend
+    from .plan import ExperimentPlan
 
 __all__ = ["EngineService", "ServeOptions", "serve_main"]
+
+#: Compute-plane rungs in degradation order; a service starts at its
+#: configured plane and only ever moves right.
+_LADDER = ("process", "thread", "inline")
 
 
 @dataclass(frozen=True)
@@ -68,6 +98,25 @@ class ServeOptions:
     cache_dir: str | None = DEFAULT_CACHE_DIR
     #: Default solver for requests that do not name one.
     solver: str | None = None
+    #: Starting compute-plane rung: ``"process"``, ``"thread"`` or
+    #: ``"inline"``.  Degradation only ever steps down this ladder.
+    compute_plane: str = "thread"
+    #: Restart budget handed to the process rung (``None`` = its default).
+    restart_budget: int | None = None
+    #: Per-plan wall deadline on the process rung (wedged-worker reap).
+    job_deadline_s: float | None = None
+    #: Circuit breaker: this many infrastructure failures within
+    #: ``breaker_window_s`` trip the service down one rung.
+    breaker_threshold: int = 3
+    breaker_window_s: float = 30.0
+    #: While open (for this long after a trip) admission is halved and
+    #: shed requests get the retryable ``unavailable`` code.
+    breaker_cooldown_s: float = 5.0
+    #: Per-request infrastructure retries before giving up with
+    #: ``unavailable`` (each retry may land on a lower rung).
+    infra_retries: int = 4
+    #: Chaos policy installed process-wide and shipped to pool workers.
+    chaos: "chaos.ChaosPolicy | None" = None
 
 
 class _RequestError(Exception):
@@ -81,13 +130,28 @@ class _RequestError(Exception):
 class EngineService:
     """Request plane: admission, deadlines, dispatch, graceful drain."""
 
+    #: Successful responses replayable by ``rid`` (idempotency keys).
+    _RID_CACHE = 256
+
     def __init__(self, options: ServeOptions | None = None) -> None:
         self.options = options or ServeOptions()
-        self._backend = ThreadPoolBackend(
-            workers=self.options.compute_workers,
-            coalesce=self.options.coalesce,
-            coalesce_window_s=self.options.coalesce_window_s,
-        )
+        if self.options.compute_plane not in _LADDER:
+            raise ValueError(
+                f"compute_plane must be one of {_LADDER}, "
+                f"got {self.options.compute_plane!r}"
+            )
+        if self.options.chaos is not None:
+            chaos.install(self.options.chaos)
+        #: Rungs this service may occupy, starting at the configured one.
+        self._ladder = _LADDER[_LADDER.index(self.options.compute_plane):]
+        self._rung = 0
+        self._backend: "ComputeBackend" = self._make_backend(self._ladder[0])
+        self._breaker_state = "closed"
+        self._breaker_opened = 0.0
+        self._breaker_trips = 0
+        self._infra_events: "deque[float]" = deque()
+        self._reapers: list[threading.Thread] = []
+        self._rids: "OrderedDict[str, asyncio.Future]" = OrderedDict()
         self._collector = obs.Collector()
         self._obs_lock = threading.Lock()
         self._pending = 0
@@ -96,6 +160,23 @@ class EngineService:
         self._request_tasks: set[asyncio.Task] = set()
         self._shutdown = asyncio.Event()
         self._draining = False
+
+    def _make_backend(self, kind: str) -> "ComputeBackend":
+        options = self.options
+        if kind == "process":
+            return ProcessPoolBackend(
+                workers=options.compute_workers,
+                restart_budget=options.restart_budget,
+                job_deadline_s=options.job_deadline_s,
+                chaos_policy=options.chaos,
+            )
+        if kind == "thread":
+            return ThreadPoolBackend(
+                workers=options.compute_workers,
+                coalesce=options.coalesce,
+                coalesce_window_s=options.coalesce_window_s,
+            )
+        return inline_backend()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -154,6 +235,10 @@ class EngineService:
             task.cancel()
         await asyncio.gather(*tuple(self._conn_tasks), return_exceptions=True)
         self._backend.close()
+        for reaper in self._reapers:
+            reaper.join(timeout=30.0)
+        if self.options.chaos is not None:
+            chaos.uninstall()  # don't leak the policy past this service
 
     # -- observability -----------------------------------------------------------
 
@@ -179,14 +264,94 @@ class EngineService:
         merged = obs.Collector()
         with self._obs_lock:
             merged.merge(self._collector.snapshot())
-        merged.merge(self._backend.stats())
+        backend = self._backend
+        backend_stats = getattr(backend, "stats", None)
+        if callable(backend_stats):
+            merged.merge(backend_stats())
         counters = merged.counters
         jobs = counters.get("coalesce.jobs", 0)
         batches = counters.get("coalesce.batches", 0)
         plain = merged.snapshot().to_plain()
         plain["coalesce_ratio"] = round(jobs / batches, 4) if batches else 1.0
         plain["pending"] = self._pending
+        plain["backend"] = getattr(
+            backend, "label", type(backend).__name__
+        )
+        plain["breaker"] = {
+            "state": self._breaker(),
+            "trips": self._breaker_trips,
+            "rung": self._ladder[self._rung],
+            "ladder": list(self._ladder),
+            "threshold": self.options.breaker_threshold,
+            "window_s": self.options.breaker_window_s,
+        }
+        policy = chaos.active_policy()
+        if policy is not None:
+            plain["chaos"] = {"spec": policy.spec(), "counts": chaos.counts()}
         return plain
+
+    # -- degradation ladder / circuit breaker ------------------------------------
+
+    def _breaker(self) -> str:
+        """Current breaker state (lazily closes after the cooldown)."""
+        if (
+            self._breaker_state == "open"
+            and time.monotonic() - self._breaker_opened
+            >= self.options.breaker_cooldown_s
+        ):
+            self._breaker_state = "closed"
+            with self._obs_lock:
+                self._collector.gauge("service.breaker_open", 0)
+        return self._breaker_state
+
+    def _infra_failure(self, backend: "ComputeBackend") -> None:
+        """Record one infrastructure failure; maybe trip down a rung.
+
+        A backend that declares itself broken trips immediately;
+        otherwise ``breaker_threshold`` failures inside
+        ``breaker_window_s`` do.  Runs on the event loop thread only.
+        """
+        self._note("service.infra_failures")
+        now = time.monotonic()
+        self._infra_events.append(now)
+        window = self.options.breaker_window_s
+        while self._infra_events and now - self._infra_events[0] > window:
+            self._infra_events.popleft()
+        if backend is not self._backend:
+            return  # a concurrent request already tripped the ladder
+        broken = getattr(backend, "broken", False)
+        if broken or len(self._infra_events) >= self.options.breaker_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        """Open the breaker and step the compute plane down one rung."""
+        if self._rung + 1 >= len(self._ladder):
+            return  # already on the lowest rung; keep serving inline
+        old = self._backend
+        self._rung += 1
+        self._backend = self._make_backend(self._ladder[self._rung])
+        self._breaker_state = "open"
+        self._breaker_opened = time.monotonic()
+        self._breaker_trips += 1
+        self._infra_events.clear()
+        self._note("service.breaker_trips")
+        # Fold the dying backend's counters into the service collector:
+        # worker-death and requeue history must survive the trip (stats
+        # otherwise only reflects the *current* backend).
+        old_stats = getattr(old, "stats", None)
+        with self._obs_lock:
+            if callable(old_stats):
+                self._collector.merge(old_stats())
+            self._collector.gauge("service.breaker_open", 1)
+            self._collector.gauge("service.rung", self._rung)
+        # The old backend drains in the background: its close() joins a
+        # supervisor/pool and must not stall the event loop.  In-flight
+        # futures on it still resolve (or fail over to the new rung).
+        reaper = threading.Thread(
+            target=old.close, name="repro-backend-reaper", daemon=True
+        )
+        reaper.start()
+        self._reapers.append(reaper)
 
     # -- request handling --------------------------------------------------------
 
@@ -206,6 +371,13 @@ class EngineService:
                 return {"ok": True, "id": request_id, "op": "shutdown"}
             if op != "run":
                 raise _RequestError("bad-request", f"unknown op {op!r}")
+            rid = request.get("rid")
+            if rid is not None:
+                if not isinstance(rid, str) or not rid:
+                    raise _RequestError(
+                        "bad-request", "rid must be a non-empty string"
+                    )
+                return await self._run_deduped(rid, request)
             result = await self._run_request(request)
             return {"ok": True, "id": request_id, "result": result.to_plain()}
         except _RequestError as error:
@@ -216,6 +388,54 @@ class EngineService:
             return _error_doc(
                 request_id, "internal", f"{type(exc).__name__}: {exc}"
             )
+
+    async def _run_deduped(self, rid: str, request: dict) -> dict:
+        """Idempotent ``run``: duplicates of ``rid`` never re-execute.
+
+        A duplicate arriving while the original is in flight awaits the
+        same outcome; one arriving after a *successful* completion
+        replays the cached response.  Failed outcomes are not cached —
+        a client retrying after an error genuinely wants a fresh
+        execution — so only successes are protected against
+        double-execution, which is exactly the retry-safety contract.
+        """
+        request_id = request.get("id")
+        existing = self._rids.get(rid)
+        if existing is not None:
+            self._note("service.rid_joined")
+            # shield(): a duplicate's cancellation must not cancel the
+            # original request's execution.
+            doc = await asyncio.shield(existing)
+            return dict(doc, id=request_id)
+        holder: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._rids[rid] = holder
+        try:
+            result = await self._run_request(request)
+        except _RequestError as error:
+            self._rids.pop(rid, None)
+            doc = _error_doc(request_id, error.code, str(error))
+            holder.set_result(doc)
+            return doc
+        except BaseException as exc:
+            self._rids.pop(rid, None)
+            if not holder.done():
+                holder.set_result(
+                    _error_doc(
+                        request_id, "internal", f"{type(exc).__name__}: {exc}"
+                    )
+                )
+            raise
+        doc = {"ok": True, "id": request_id, "result": result.to_plain()}
+        holder.set_result(doc)
+        self._rids.move_to_end(rid)
+        while len(self._rids) > self._RID_CACHE:
+            for key, value in self._rids.items():
+                if value.done():
+                    del self._rids[key]
+                    break
+            else:
+                break
+        return doc
 
     async def _run_request(self, request: dict) -> "ExperimentResult":
         name = request.get("experiment")
@@ -231,13 +451,25 @@ class EngineService:
         # Admission control: beyond max_pending the request is refused
         # outright — a bounded queue keeps worst-case latency bounded
         # and pushes overload back to the clients instead of hiding it.
+        # While the breaker is open the limit is halved (load shedding)
+        # and shed requests get the *retryable* ``unavailable`` code:
+        # the service is mid-degradation, come back shortly.
         if self._draining:
             raise _RequestError("rejected", "service is shutting down")
-        if self._pending >= self.options.max_pending:
+        limit = self.options.max_pending
+        if self._breaker() == "open":
+            limit = max(1, limit // 2)
+            if self._pending >= limit:
+                self._note("service.shed")
+                raise _RequestError(
+                    "unavailable",
+                    "circuit breaker open: service is shedding load",
+                )
+        if self._pending >= limit:
             self._note("service.rejected")
             raise _RequestError(
                 "rejected",
-                f"admission queue full ({self.options.max_pending} pending)",
+                f"admission queue full ({limit} pending)",
             )
 
         context, settings = self._resolve(request, experiment.simulation)
@@ -252,29 +484,22 @@ class EngineService:
         self._note("service.admitted")
         self._note_depth()
         start = time.monotonic()
-        future = self._backend.submit(plan, context)
         try:
-            wrapped = asyncio.wrap_future(future)
             if deadline_s is None:
-                result = await wrapped
+                result = await self._execute(plan, context)
             else:
+                task = asyncio.ensure_future(self._execute(plan, context))
                 try:
                     result = await asyncio.wait_for(
-                        asyncio.shield(wrapped), timeout=deadline_s
+                        asyncio.shield(task), timeout=deadline_s
                     )
                 except asyncio.TimeoutError:
                     # A queued plan is withdrawn; a running one cannot
                     # be preempted mid-driver — it finishes on the
                     # worker (warming caches for its successors) but
                     # the response is the deadline error either way.
-                    if future.cancel():
-                        self._note("service.deadline_cancelled")
-                    else:
-                        self._note("service.deadline_abandoned")
-                        # Retrieve the eventual outcome so an abandoned
-                        # plan that fails does not log "exception was
-                        # never retrieved" long after the response went.
-                        wrapped.add_done_callback(_swallow_outcome)
+                    task.cancel()
+                    await asyncio.gather(task, return_exceptions=True)
                     self._note("service.deadline_expired")
                     raise _RequestError(
                         "deadline",
@@ -286,6 +511,61 @@ class EngineService:
             self._pending -= 1
             self._note_depth()
             self._note_latency(time.monotonic() - start)
+
+    async def _execute(
+        self, plan: "ExperimentPlan", context
+    ) -> "ExperimentResult":
+        """Run one plan through the backend ladder until it resolves.
+
+        Infrastructure failures — a broken process pool, an injected
+        future drop, a backend closed underneath us by a concurrent
+        breaker trip — are retried transparently, each attempt landing
+        on whatever rung the service currently occupies, so an admitted
+        request survives its compute plane dying.  Real task failures
+        (the experiment itself raised) propagate unchanged and are
+        never retried.
+        """
+        last: "BaseException | None" = None
+        for attempt in range(self.options.infra_retries + 1):
+            backend = self._backend
+            if attempt:
+                self._note("service.infra_retried")
+            try:
+                future = backend.submit(plan, context)
+            except PoolBrokenError as exc:
+                self._infra_failure(backend)
+                last = exc
+                continue
+            except RuntimeError as exc:
+                # "backend is closed": a trip swapped it out between our
+                # read and the submit; the next attempt sees the new one.
+                last = exc
+                continue
+            try:
+                return await asyncio.wrap_future(future)
+            except asyncio.CancelledError:
+                if future.cancel():
+                    self._note("service.deadline_cancelled")
+                else:
+                    self._note("service.deadline_abandoned")
+                    # Retrieve the eventual outcome so an abandoned
+                    # plan that fails does not log "exception was
+                    # never retrieved" long after the response went.
+                    future.add_done_callback(_swallow_outcome)
+                raise
+            except PoolBrokenError as exc:
+                self._infra_failure(backend)
+                last = exc
+            except chaos.ChaosError as exc:
+                # An injected infrastructure fault (dropped future):
+                # retry on the same rung — execution is idempotent.
+                self._note("service.chaos_absorbed")
+                last = exc
+        raise _RequestError(
+            "unavailable",
+            f"compute plane unavailable after "
+            f"{self.options.infra_retries + 1} attempts: {last}",
+        )
 
     def _resolve(self, request: dict, simulation: bool):
         """Warm context + settings for one request's parameters."""
@@ -460,7 +740,36 @@ def serve_main(argv: "list[str] | None" = None) -> int:
         metavar="BACKEND",
         help="default solver backend for requests that do not name one",
     )
+    parser.add_argument(
+        "--compute-plane", choices=list(_LADDER), default="thread",
+        help="starting compute-plane rung (degradation only steps down)",
+    )
+    parser.add_argument(
+        "--restart-budget", type=int, default=None, metavar="N",
+        help="process-plane worker restarts before the pool is broken",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="infrastructure failures in the window that trip the breaker",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=5.0, metavar="S",
+        help="seconds of load shedding after a breaker trip",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="chaos policy spec, e.g. 'seed=7,kill_worker_rate=0.3' "
+             "(see repro.chaos.ChaosPolicy)",
+    )
     args = parser.parse_args(argv)
+    chaos_policy = None
+    if args.chaos:
+        from ..chaos import ChaosPolicy
+
+        try:
+            chaos_policy = ChaosPolicy.parse(args.chaos)
+        except ValueError as exc:
+            parser.error(str(exc))
     options = ServeOptions(
         host=args.host,
         port=args.port,
@@ -471,6 +780,11 @@ def serve_main(argv: "list[str] | None" = None) -> int:
         coalesce=not args.no_coalesce,
         cache_dir=None if args.no_cache else args.cache_dir,
         solver=args.solver,
+        compute_plane=args.compute_plane,
+        restart_budget=args.restart_budget,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        chaos=chaos_policy,
     )
 
     async def _amain() -> int:

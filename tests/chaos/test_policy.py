@@ -1,0 +1,144 @@
+"""ChaosPolicy determinism, spec round-trips, and injection points."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import chaos
+from repro.chaos import ChaosPolicy
+from repro.chaos.policy import SITE_RATES
+
+
+class TestPolicy:
+    def test_decisions_are_pure_functions(self):
+        pol = ChaosPolicy(seed=7, kill_worker_rate=0.5)
+        token = ("fig04", 3, 0)
+        draws = {pol.draw("worker.kill", token) for _ in range(10)}
+        assert len(draws) == 1
+        clone = pickle.loads(pickle.dumps(pol))
+        assert clone.fires("worker.kill", token) == pol.fires(
+            "worker.kill", token
+        )
+
+    def test_seed_changes_decisions(self):
+        token = ("fig04", 3, 0)
+        draws = {
+            ChaosPolicy(seed=s, kill_worker_rate=0.5).draw(
+                "worker.kill", token
+            )
+            for s in range(32)
+        }
+        assert len(draws) == 32
+
+    def test_rate_bounds_validated(self):
+        with pytest.raises(ValueError, match="kill_worker_rate"):
+            ChaosPolicy(kill_worker_rate=1.5)
+        with pytest.raises(ValueError, match="delay_future_ms"):
+            ChaosPolicy(delay_future_ms=-1)
+
+    def test_rate_zero_never_fires_rate_one_always_fires(self):
+        off = ChaosPolicy(seed=1)
+        on = ChaosPolicy(seed=1, drop_future_rate=1.0)
+        assert not any(off.fires("future.drop", i) for i in range(64))
+        assert all(on.fires("future.drop", i) for i in range(64))
+
+    def test_observed_rate_tracks_configured_rate(self):
+        pol = ChaosPolicy(seed=5, corrupt_cache_rate=0.3)
+        fired = sum(pol.fires("cache.corrupt", i) for i in range(2000))
+        assert 0.25 < fired / 2000 < 0.35
+
+    def test_is_null(self):
+        assert ChaosPolicy(seed=9).is_null
+        assert not ChaosPolicy(seed=9, stall_dispatch_rate=0.1).is_null
+
+    def test_every_site_has_a_rate_field(self):
+        pol = ChaosPolicy()
+        for site in SITE_RATES:
+            assert pol.rate(site) == 0.0
+        with pytest.raises(ValueError, match="unknown chaos site"):
+            pol.rate("nonexistent.site")
+
+
+class TestSpecRoundTrip:
+    def test_round_trip(self):
+        pol = ChaosPolicy(
+            seed=11, kill_worker_rate=0.25, delay_future_ms=12.5
+        )
+        assert ChaosPolicy.parse(pol.spec()) == pol
+
+    def test_default_policy_spec(self):
+        assert ChaosPolicy.parse(ChaosPolicy().spec()) == ChaosPolicy()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="bad chaos spec field"):
+            ChaosPolicy.parse("explode_rate=1")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="bad chaos spec value"):
+            ChaosPolicy.parse("kill_worker_rate=often")
+
+
+class TestInjectionPoints:
+    def test_points_are_noops_without_policy(self, tmp_path):
+        chaos.uninstall()
+        chaos.reset_counts()
+        assert not chaos.fires("future.drop")
+        chaos.stall_point()
+        target = tmp_path / "entry.pkl"
+        target.write_bytes(b"x" * 64)
+        chaos.corrupt_point(target)
+        assert target.read_bytes() == b"x" * 64
+        assert chaos.counts() == {}
+
+    def test_injected_scopes_and_counts(self):
+        chaos.reset_counts()
+        with chaos.injected(ChaosPolicy(seed=2, drop_future_rate=1.0)):
+            assert chaos.active_policy() is not None
+            assert chaos.fires("future.drop")
+        assert chaos.active_policy() is None
+        assert chaos.counts()["future.drop"] == 1
+
+    def test_null_policy_never_installs(self):
+        chaos.install(ChaosPolicy(seed=4))
+        assert chaos.active_policy() is None
+
+    def test_corrupt_point_flips_bytes(self, tmp_path):
+        target = tmp_path / "entry.pkl"
+        target.write_bytes(bytes(range(64)))
+        with chaos.injected(ChaosPolicy(seed=1, corrupt_cache_rate=1.0)):
+            chaos.corrupt_point(target)
+        assert target.read_bytes() != bytes(range(64))
+        assert target.stat().st_size == 64  # flipped in place, not truncated
+
+
+class TestSmokeSpecConverges:
+    """Guards the fixed spec scripts/chaos_smoke.py replays in CI."""
+
+    def test_smoke_spec_converges(self):
+        import importlib.util
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        spec = importlib.util.spec_from_file_location(
+            "chaos_smoke", root / "scripts" / "chaos_smoke.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        pol = ChaosPolicy.parse(module.CHAOS_SPEC)
+        first_attempt_kills = [
+            (name, seed)
+            for name in module.EXPERIMENTS
+            for seed in module.SEEDS
+            if pol.fires("worker.kill", (name, seed, 0))
+        ]
+        # The smoke asserts >= 2 worker deaths: the seed must keep
+        # producing them deterministically...
+        assert len(first_attempt_kills) >= 2
+        # ...and every killed plan must survive its resubmission (the
+        # pool resubmits at most twice).
+        for name, seed in first_attempt_kills:
+            assert not pol.fires("worker.kill", (name, seed, 1)) or not (
+                pol.fires("worker.kill", (name, seed, 2))
+            )

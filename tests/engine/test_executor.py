@@ -128,6 +128,23 @@ class TestRetryPolicy:
             pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4),
         ]
 
+    def test_jitter_stays_within_envelope(self):
+        """Every jittered delay lands in [base*(1-j), base*(1+j)].
+
+        Regression guard for the backoff schedule: a delay outside the
+        envelope either hammers a recovering pool (too short) or
+        silently stretches restart gates (too long).
+        """
+        policy = RetryPolicy(backoff_s=0.05, backoff_factor=2.0, jitter=0.25)
+        rng = random.Random(123)
+        for attempt in (1, 2, 3, 4, 5):
+            base = policy.backoff_s * policy.backoff_factor ** (attempt - 1)
+            lo, hi = base * 0.75, base * 1.25
+            delays = [policy.delay(attempt, rng) for _ in range(200)]
+            assert all(lo <= d <= hi for d in delays)
+            # The jitter is real: draws inside one attempt differ.
+            assert len({round(d, 12) for d in delays}) > 1
+
 
 class TestFailureContainment:
     """Non-strict executors degrade to partial batches, never raise."""

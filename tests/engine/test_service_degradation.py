@@ -1,0 +1,315 @@
+"""Degradation ladder: breaker trips, load shedding, drain, rid dedup."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.chaos import ChaosPolicy
+from repro.engine.registry import _REGISTRY, Experiment, register
+from repro.engine.service import EngineService, ServeOptions
+from repro.engine.warm import clear_warm_contexts
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warm_contexts():
+    clear_warm_contexts()
+    yield
+    clear_warm_contexts()
+
+
+# -- probe experiments ------------------------------------------------------------
+
+_GATE = threading.Event()
+_CALLS: list[int] = []
+
+
+def _ok_driver(config=None, context=None):
+    return {"seed": context.seed}
+
+
+def _gated_driver(config=None, context=None):
+    if not _GATE.wait(timeout=30):
+        raise RuntimeError("gate never released")
+    return {"seed": context.seed}
+
+
+def _counting_driver(config=None, context=None):
+    _CALLS.append(context.seed)
+    return {"seed": context.seed, "call": len(_CALLS)}
+
+
+def _flaky_driver(config=None, context=None):
+    _CALLS.append(context.seed)
+    if len(_CALLS) == 1:
+        raise ValueError("first call fails")
+    return {"seed": context.seed, "call": len(_CALLS)}
+
+
+@pytest.fixture
+def ok_probe():
+    register(Experiment(name="_deg_ok", driver=_ok_driver, title="ok"))
+    yield "_deg_ok"
+    _REGISTRY.pop("_deg_ok", None)
+
+
+@pytest.fixture
+def gated_probe():
+    _GATE.clear()
+    register(Experiment(name="_deg_gated", driver=_gated_driver, title="g"))
+    yield "_deg_gated"
+    _GATE.set()
+    _REGISTRY.pop("_deg_gated", None)
+
+
+@pytest.fixture
+def counting_probe():
+    _CALLS.clear()
+    register(Experiment(name="_deg_count", driver=_counting_driver, title="c"))
+    yield "_deg_count"
+    _REGISTRY.pop("_deg_count", None)
+
+
+@pytest.fixture
+def flaky_probe():
+    _CALLS.clear()
+    register(Experiment(name="_deg_flaky", driver=_flaky_driver, title="f"))
+    yield "_deg_flaky"
+    _REGISTRY.pop("_deg_flaky", None)
+
+
+@pytest.fixture
+def drain_probe():
+    register(Experiment(name="_svc_drain", driver=_ok_driver, title="d"))
+    yield "_svc_drain"
+    _REGISTRY.pop("_svc_drain", None)
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+async def _with_service(options, body):
+    service = EngineService(options)
+    try:
+        await service.start()
+        return await body(service)
+    finally:
+        _GATE.set()
+        await service.close(drain=True)
+
+
+#: Every plan dies on its first processing attempt; with no restart
+#: budget the pool breaks immediately, so one request is enough to walk
+#: the service down to the thread rung.
+_TOTAL_KILL = ChaosPolicy(seed=0, kill_worker_rate=1.0, kill_delay_ms=0)
+
+
+def _broken_pool_options(**overrides):
+    defaults = dict(
+        cache_dir=None,
+        compute_plane="process",
+        compute_workers=1,
+        restart_budget=0,
+        breaker_cooldown_s=60.0,  # stays open for the whole test
+        chaos=_TOTAL_KILL,
+    )
+    defaults.update(overrides)
+    return ServeOptions(**defaults)
+
+
+class TestBreakerLadder:
+    def test_pool_death_trips_breaker_to_thread_rung(self, ok_probe):
+        async def body(service):
+            response = await service.submit(
+                {"op": "run", "id": 1, "experiment": ok_probe}
+            )
+            # The admitted request survived its compute plane dying.
+            assert response["ok"], response
+            assert response["result"]["payload"] == {"seed": 0}
+            assert (await service.submit({"op": "ping"}))["ok"]
+            stats = (await service.submit({"op": "stats"}))["stats"]
+            breaker = stats["breaker"]
+            assert breaker["trips"] >= 1
+            assert breaker["rung"] == "thread"
+            assert breaker["state"] == "open"
+            assert stats["counters"]["service.completed"] == 1
+            assert stats["counters"]["service.infra_failures"] >= 1
+
+        run_async(_with_service(_broken_pool_options(), body))
+
+    def test_breaker_closes_after_cooldown_on_the_lower_rung(self, ok_probe):
+        async def body(service):
+            assert (
+                await service.submit({"op": "run", "experiment": ok_probe})
+            )["ok"]
+            assert service.stats()["breaker"]["state"] == "open"
+            await asyncio.sleep(0.15)
+            breaker = service.stats()["breaker"]
+            assert breaker["state"] == "closed"  # cooled down...
+            assert breaker["rung"] == "thread"  # ...but does not climb back
+
+        run_async(
+            _with_service(
+                _broken_pool_options(breaker_cooldown_s=0.05), body
+            )
+        )
+
+    def test_open_breaker_sheds_load_with_retryable_code(
+        self, ok_probe, gated_probe
+    ):
+        async def body(service):
+            # Trip to the thread rung; breaker now open for 60 s.
+            assert (
+                await service.submit({"op": "run", "experiment": ok_probe})
+            )["ok"]
+            # Shedding halves max_pending (4 -> 2): fill both slots...
+            blocked = [
+                asyncio.ensure_future(
+                    service.submit({"op": "run", "experiment": gated_probe})
+                )
+                for _ in range(2)
+            ]
+            while service.pending < 2:
+                await asyncio.sleep(0.005)
+            # ...and the next request is shed with the retryable code.
+            shed = await service.submit(
+                {"op": "run", "experiment": gated_probe}
+            )
+            assert not shed["ok"]
+            assert shed["error"]["code"] == "unavailable"
+            _GATE.set()
+            docs = await asyncio.gather(*blocked)
+            assert all(doc["ok"] for doc in docs)
+            counters = service.stats()["counters"]
+            assert counters["service.shed"] == 1
+
+        run_async(
+            _with_service(
+                _broken_pool_options(compute_workers=2, max_pending=4), body
+            )
+        )
+
+
+class TestDrainUnderFailure:
+    def test_drain_resolves_every_admitted_request(self, drain_probe):
+        """``close(drain=True)`` mid-kill: no dangling futures, no orphans.
+
+        Chaos seed 1 against these tokens kills two of the six plans on
+        their first processing attempt (one twice), so the drain
+        overlaps live worker deaths; every admitted request must still
+        resolve with its payload and no worker process may outlive the
+        service.
+        """
+        policy = ChaosPolicy(seed=1, kill_worker_rate=0.5, kill_delay_ms=0)
+        options = ServeOptions(
+            cache_dir=None,
+            compute_plane="process",
+            compute_workers=2,
+            restart_budget=16,
+            chaos=policy,
+        )
+
+        async def run():
+            service = EngineService(options)
+            await service.start()
+            tasks = [
+                asyncio.ensure_future(
+                    service.submit(
+                        {
+                            "op": "run",
+                            "id": seed,
+                            "experiment": drain_probe,
+                            "seed": seed,
+                        }
+                    )
+                )
+                for seed in range(6)
+            ]
+            # Wait until every plan reached the pool, so the close
+            # overlaps in-flight work rather than pre-empting admission.
+            backend = service._backend
+            while backend.stats().counters.get("compute.jobs", 0) < 6:
+                await asyncio.sleep(0.005)
+            processes = [w.process for w in backend._pool.values()]
+            await service.close(drain=True)
+            docs = await asyncio.gather(*tasks)
+            assert all(doc["ok"] for doc in docs), docs
+            assert sorted(d["result"]["payload"]["seed"] for d in docs) == [
+                0, 1, 2, 3, 4, 5,
+            ]
+            counters = service.stats()["counters"]
+            assert counters["compute.worker_deaths"] >= 1
+            assert backend.alive_workers() == 0
+            assert not any(p.is_alive() for p in processes)
+
+        run_async(run())
+
+
+class TestRidDedup:
+    def test_duplicate_rid_executes_once(self, counting_probe, gated_probe):
+        async def body(service):
+            first = asyncio.ensure_future(
+                service.submit(
+                    {
+                        "op": "run",
+                        "id": 1,
+                        "rid": "r-1",
+                        "experiment": counting_probe,
+                    }
+                )
+            )
+            await asyncio.sleep(0)  # let the original claim the rid
+            second = await service.submit(
+                {
+                    "op": "run",
+                    "id": 2,
+                    "rid": "r-1",
+                    "experiment": counting_probe,
+                }
+            )
+            original = await first
+            assert original["ok"] and second["ok"]
+            assert original["id"] == 1 and second["id"] == 2
+            assert original["result"] == second["result"]
+            assert len(_CALLS) == 1  # the driver ran exactly once
+            # A replay long after completion is also served from cache.
+            third = await service.submit(
+                {
+                    "op": "run",
+                    "id": 3,
+                    "rid": "r-1",
+                    "experiment": counting_probe,
+                }
+            )
+            assert third["ok"] and third["id"] == 3
+            assert len(_CALLS) == 1
+            counters = service.stats()["counters"]
+            assert counters["service.rid_joined"] == 2
+            assert counters["service.admitted"] == 1
+
+        run_async(
+            _with_service(
+                ServeOptions(cache_dir=None, compute_workers=1), body
+            )
+        )
+
+    def test_error_outcomes_are_not_cached(self, flaky_probe):
+        async def body(service):
+            first = await service.submit(
+                {"op": "run", "id": 1, "rid": "r-2", "experiment": flaky_probe}
+            )
+            assert not first["ok"]
+            # The retry with the same rid genuinely re-executes: an
+            # error response must never be replayed as if it succeeded.
+            second = await service.submit(
+                {"op": "run", "id": 2, "rid": "r-2", "experiment": flaky_probe}
+            )
+            assert second["ok"], second
+            assert len(_CALLS) == 2
+
+        run_async(
+            _with_service(
+                ServeOptions(cache_dir=None, compute_workers=1), body
+            )
+        )
