@@ -39,6 +39,12 @@ against a fully broken pool — recording throughput degradation under
 kills and the time for the degradation ladder to answer a request after
 a breaker trip.
 
+Schema 6 adds a ``sweep_matrix``: the columnar sweep store's ETL path
+(``repro.sweepstore``) driven with a scripted 1e5-row fault-sweep grid
+per storage backend — ingest rows/s, combine/query wall, the cross-run
+design-point join, and the canonical-table fingerprint certifying
+byte-identical results between parquet and the npz fallback.
+
 ``--compare OLD.json`` prints a speedup table (wall time, peak RSS,
 factorisation counts) of this run against a previous document and, with
 ``--fail-over R``, exits non-zero if any shared experiment got more
@@ -100,11 +106,24 @@ RECOVERY_KILL_RATE = 0.5
 #: on every attempt): warm-up cannot leak deaths into the timed phase.
 RECOVERY_WARM_SEEDS = (115, 127, 128, 153)
 
+#: Sweep-matrix workload shape: a scripted fault-sweep design-space
+#: grid of SWEEP_CONFIGS x SWEEP_SEEDS x len(SWEEP_SOLVERS) result
+#: documents, each carrying len(SWEEP_TECHNIQUES) x len(SWEEP_RATES)
+#: margin cells — 100 000 typed rows through the sweep-store ETL.
+SWEEP_TECHNIQUES = ("Base", "DRVR", "PR", "DRVR+PR")
+SWEEP_RATES = tuple(round(i * 4e-5, 12) for i in range(25))
+SWEEP_SOLVERS = ("reference", "batched")
+SWEEP_SEEDS = 50
+SWEEP_CONFIGS = 10
+SWEEP_SHARD_ROWS = 5_000
+
 #: v4: adds ``service_matrix`` (concurrent request throughput through
 #: the ``repro serve`` planes vs serialized one-shot runs).
 #: v5: adds ``recovery_matrix`` (steady vs during-kill throughput on
 #: the supervised process pool, time-to-recover after a breaker trip).
-SCHEMA = 5
+#: v6: adds ``sweep_matrix`` (columnar sweep-store ETL: ingest rate,
+#: combine/query/cross-run-join latency at 1e5 rows, backend parity).
+SCHEMA = 6
 
 
 def _reset_shared_state() -> None:
@@ -510,11 +529,156 @@ def run_recovery_matrix() -> dict:
     }
 
 
+def _sweep_documents() -> "list[dict]":
+    """The scripted fault-sweep grid: one result document per run cell.
+
+    Metric values are a deterministic function of the grid coordinates
+    (no RNG): re-running the bench re-ingests byte-identical rows, so
+    the recorded table fingerprint is stable across runs and machines.
+    """
+    documents = []
+    for config_i in range(SWEEP_CONFIGS):
+        for seed in range(SWEEP_SEEDS):
+            margins = {}
+            for t, technique in enumerate(SWEEP_TECHNIQUES):
+                for rate in SWEEP_RATES:
+                    margins[f"{technique} @ {rate:g}"] = {
+                        "latency_us": round(
+                            1.0 + 0.1 * t + rate * 1e3 + 0.001 * seed, 9
+                        ),
+                        "min_endurance": round(1e6 / (1 + t + rate * 1e4), 6),
+                        "fail_fraction": round(rate * (4 - t) * 10.0, 9),
+                        "stuck_fraction": rate,
+                    }
+            documents.append(
+                {
+                    "experiment": "fault_sweep",
+                    "meta": {
+                        "config_hash": f"cfg{config_i:03d}",
+                        "seed": seed,
+                        "wall_s": 0.01,
+                    },
+                    "payload": {"margins": margins},
+                }
+            )
+    return documents
+
+
+def run_sweep_matrix() -> dict:
+    """Sweep-store ETL throughput: ingest, combine, query, cross-run join.
+
+    Runs the identical 1e5-row scripted fault-sweep through every
+    available storage backend (npz always; parquet when pyarrow is
+    installed) and records per-backend ingest rate, combine wall,
+    filtered-query latency, and the headline cross-run join — matching
+    every (config, technique, seed, cell) of one solver against the
+    other solver's run of the same design point.  Equal canonical-table
+    fingerprints across backends certify byte-identical query results.
+    """
+    import tempfile
+
+    from repro.sweepstore import (
+        SweepStore,
+        available_backends,
+        join_tables,
+        rows_from_result,
+    )
+
+    documents = _sweep_documents()
+    entries = []
+    fingerprints = {}
+    total_rows = 0
+    for backend in available_backends():
+        with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
+            store = SweepStore(tmp, backend=backend, grace_s=0.0)
+            batch: list[dict] = []
+            rows = 0
+            start = time.perf_counter()
+            for document in documents:
+                for solver in SWEEP_SOLVERS:
+                    batch.extend(rows_from_result(document, solver=solver))
+                if len(batch) >= SWEEP_SHARD_ROWS:
+                    store.append(batch)
+                    rows += len(batch)
+                    batch = []
+            if batch:
+                store.append(batch)
+                rows += len(batch)
+            ingest_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            report = store.combine()
+            combine_s = time.perf_counter() - start
+            assert report.rows == rows, "combine lost or duplicated rows"
+
+            start = time.perf_counter()
+            filtered = store.query(
+                where=[
+                    ("technique", "==", "DRVR+PR"),
+                    ("fault_rate", "<=", 5e-4),
+                ],
+                columns=["cell", "latency_us", "min_endurance"],
+            )
+            query_s = time.perf_counter() - start
+            query_rows = len(filtered["cell"])
+
+            start = time.perf_counter()
+            left = store.query(where=[("solver", "==", SWEEP_SOLVERS[0])])
+            right = store.query(where=[("solver", "==", SWEEP_SOLVERS[1])])
+            joined = join_tables(
+                left,
+                right,
+                on=("config_hash", "experiment", "technique", "seed", "cell"),
+                select_left=["latency_us"],
+                select_right=["latency_us"],
+            )
+            join_s = time.perf_counter() - start
+            join_rows = len(joined["cell"])
+
+            fingerprint = store.table().fingerprint()
+        fingerprints[backend] = fingerprint
+        total_rows = rows
+        entries.append(
+            {
+                "backend": backend,
+                "rows": rows,
+                "ingest_s": round(ingest_s, 6),
+                "ingest_rows_per_s": round(rows / ingest_s, 1),
+                "combine_s": round(combine_s, 6),
+                "query_s": round(query_s, 6),
+                "query_rows": query_rows,
+                "join_s": round(join_s, 6),
+                "join_rows": join_rows,
+                "fingerprint": fingerprint,
+            }
+        )
+        print(
+            f"sweep:{backend:8s} {rows} rows ingested in {ingest_s:7.3f}s "
+            f"({rows / ingest_s:9.0f} rows/s), combine {combine_s:6.3f}s, "
+            f"query {query_s:6.3f}s, cross-run join {join_s:6.3f}s "
+            f"({join_rows} matches)",
+            flush=True,
+        )
+    return {
+        "workload": (
+            f"scripted fault-sweep ETL: {SWEEP_CONFIGS} configs x "
+            f"{SWEEP_SEEDS} seeds x {len(SWEEP_SOLVERS)} solvers x "
+            f"{len(SWEEP_TECHNIQUES)} techniques x {len(SWEEP_RATES)} "
+            "fault rates through ingest/combine/query and a cross-solver "
+            "design-point join"
+        ),
+        "rows": total_rows,
+        "backends": entries,
+        "parity": len(set(fingerprints.values())) == 1,
+    }
+
+
 def build_document(
     entries: list[dict],
     solver_entries: list[dict],
     service_matrix: dict,
     recovery_matrix: dict,
+    sweep_matrix: dict,
     quick: bool,
 ) -> dict:
     return {
@@ -536,6 +700,7 @@ def build_document(
         },
         "service_matrix": service_matrix,
         "recovery_matrix": recovery_matrix,
+        "sweep_matrix": sweep_matrix,
         "totals": {
             "experiments": len(entries),
             "wall_s": round(sum(e["wall_s"] for e in entries), 6),
@@ -554,7 +719,8 @@ def validate(document: dict) -> None:
     check(isinstance(document, dict), "top level must be an object")
     expected = {
         "schema", "date", "host", "version", "quick", "entries",
-        "solver_matrix", "service_matrix", "recovery_matrix", "totals",
+        "solver_matrix", "service_matrix", "recovery_matrix",
+        "sweep_matrix", "totals",
     }
     check(set(document) == expected, f"top-level keys must be {sorted(expected)}")
     check(document["schema"] == SCHEMA, f"schema must be {SCHEMA}")
@@ -763,6 +929,59 @@ def validate(document: dict) -> None:
         "after a trip from the process rung the service must sit on a "
         "lower rung",
     )
+    sweep = document["sweep_matrix"]
+    sweep_keys = {"workload", "rows", "backends", "parity"}
+    check(
+        isinstance(sweep, dict) and set(sweep) == sweep_keys,
+        f"sweep_matrix keys must be {sorted(sweep_keys)}",
+    )
+    check(
+        isinstance(sweep["rows"], int) and sweep["rows"] >= 100_000,
+        "sweep_matrix.rows must cover at least 1e5 ingested rows",
+    )
+    check(
+        isinstance(sweep["backends"], list) and sweep["backends"],
+        "sweep_matrix.backends must be a non-empty list",
+    )
+    sweep_entry_keys = {
+        "backend", "rows", "ingest_s", "ingest_rows_per_s", "combine_s",
+        "query_s", "query_rows", "join_s", "join_rows", "fingerprint",
+    }
+    sweep_fingerprints = set()
+    for entry in sweep["backends"]:
+        check(
+            isinstance(entry, dict) and set(entry) == sweep_entry_keys,
+            f"sweep backend entry keys must be {sorted(sweep_entry_keys)}",
+        )
+        check(
+            entry["rows"] == sweep["rows"],
+            "every backend must ingest the identical row grid",
+        )
+        for field in ("ingest_s", "ingest_rows_per_s", "combine_s",
+                      "query_s", "join_s"):
+            check(
+                isinstance(entry[field], (int, float)) and entry[field] > 0,
+                f"sweep_matrix {field} must be a positive number",
+            )
+        check(
+            isinstance(entry["join_rows"], int) and entry["join_rows"] > 0,
+            "the cross-run join must match at least one design point",
+        )
+        check(
+            isinstance(entry["fingerprint"], str)
+            and len(entry["fingerprint"]) == 64,
+            "fingerprint must be a sha256 hex digest",
+        )
+        sweep_fingerprints.add(entry["fingerprint"])
+    check(
+        isinstance(sweep["parity"], bool)
+        and sweep["parity"] == (len(sweep_fingerprints) == 1),
+        "sweep_matrix.parity must match the recorded fingerprints",
+    )
+    check(
+        sweep["parity"],
+        "canonical tables must be byte-identical across storage backends",
+    )
     totals = document["totals"]
     check(
         isinstance(totals, dict)
@@ -907,9 +1126,10 @@ def main(argv: list[str] | None = None) -> int:
     solver_entries = run_solver_matrix()
     service_matrix = run_service_matrix()
     recovery_matrix = run_recovery_matrix()
+    sweep_matrix = run_sweep_matrix()
     document = build_document(
         entries, solver_entries, service_matrix, recovery_matrix,
-        quick=args.quick,
+        sweep_matrix, quick=args.quick,
     )
     validate(document)  # never emit a document the validator rejects
     out = pathlib.Path(

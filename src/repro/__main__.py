@@ -8,6 +8,7 @@ Usage::
     python -m repro fig15 --quick --workers 4   # fan cells out over 4 cores
     python -m repro fig15 --benchmarks mcf_m xal_m
     python -m repro serve --port 7327    # long-lived JSON-over-TCP service
+    python -m repro sweep query STORE    # columnar sweep-store front door
 
 Simulation-backed figures accept ``--quick`` (smaller traces),
 ``--benchmarks`` (a subset of Table IV) and ``--workers`` (parallel
@@ -90,12 +91,16 @@ def _fail_unknown(kind: str, name: str, known: tuple[str, ...]) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
-    # ``serve`` is a subcommand with its own flag set; delegate before
-    # the experiment parser can reject its options.
+    # ``serve`` and ``sweep`` are subcommands with their own flag sets;
+    # delegate before the experiment parser can reject their options.
     if argv and argv[0] == "serve":
         from .engine.service import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        from .sweepstore.cli import sweep_main
+
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,

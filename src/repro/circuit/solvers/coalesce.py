@@ -156,23 +156,26 @@ class SolveCoalescer:
                 self._wake.wait()
             if not self._queue:
                 return []
+        # The window deadline is anchored *before* the chaos stall: an
+        # injected dispatcher stall eats into the gather window instead
+        # of extending it, so total added latency stays bounded by
+        # max(stall, window) rather than stall + window.
+        deadline = time.monotonic() + self.window_s
         # Chaos injection (no-op without a policy): stall the dispatch
         # window so submitters pile up behind a slow dispatcher — the
         # failure mode a wedged dispatcher thread would produce.
         chaos.stall_point("coalesce.stall")
         if self.window_s > 0:
-            # Collect without holding the lock: submitters keep landing
-            # in the queue while the window runs out.
-            end = time.monotonic() + self.window_s
-            step = max(self.window_s / 4.0, 1e-4)
-            while True:
-                with self._wake:
-                    if len(self._queue) >= self.max_jobs or self._closed:
-                        break
-                remaining = end - time.monotonic()
-                if remaining <= 0:
-                    break
-                time.sleep(min(remaining, step))
+            # One condition wait replaces the old sleep-poll loop: the
+            # dispatcher sleeps exactly until the round fills, close()
+            # is called, or the deadline passes — no idle wake-ups, and
+            # submitters keep landing in the queue throughout (the lock
+            # is released while waiting).
+            with self._wake:
+                self._wake.wait_for(
+                    lambda: len(self._queue) >= self.max_jobs or self._closed,
+                    timeout=max(0.0, deadline - time.monotonic()),
+                )
         with self._wake:
             jobs = self._queue[: self.max_jobs]
             del self._queue[: len(jobs)]

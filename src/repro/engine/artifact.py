@@ -77,3 +77,18 @@ class ExperimentResult:
             "meta": self.meta(),
             "payload": to_plain(self.payload),
         }
+
+    def sweep_rows(
+        self,
+        solver: "str | None" = None,
+        fault_set: "str | None" = None,
+    ) -> list[dict]:
+        """This result as typed sweep-store rows (see :mod:`repro.sweepstore`).
+
+        ``solver``/``fault_set`` identify the run when the caller knows
+        them (e.g. from the :class:`~repro.engine.plan.ExperimentPlan`);
+        the artifact itself only carries the config hash and seed.
+        """
+        from ..sweepstore.ingest import rows_from_result
+
+        return rows_from_result(self, solver=solver, fault_set=fault_set)

@@ -32,6 +32,7 @@ from __future__ import annotations
 import os
 import random
 import sys
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -268,6 +269,14 @@ class SerialExecutor:
     def label(self) -> str:
         return "serial"
 
+    def close(self) -> None:
+        """Lifecycle no-op: a serial executor owns no worker processes.
+
+        Exists so every executor honours the same close contract —
+        context owners (:meth:`repro.engine.context.RunContext.close`,
+        the warm-context registry) call it unconditionally.
+        """
+
     def map(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> list[TaskResult]:
@@ -346,10 +355,47 @@ class ParallelExecutor:
         self.workers = workers or os.cpu_count() or 1
         self.policy = policy or RetryPolicy()
         self.strict = strict
+        # Pools whose shutdown was issued without waiting: map() must
+        # return promptly, but the executor still *owns* those worker
+        # processes until close() joins them.  Without this registry a
+        # discarded executor (warm-context eviction, a losing
+        # construction racer) leaks children for the OS to reap.  Each
+        # entry keeps the pool's worker-process map alongside it:
+        # ``shutdown(wait=False)`` nulls ``pool._processes``, so the
+        # registry's reference is the only handle left to join on.
+        self._pools: "list[tuple[ProcessPoolExecutor, dict]]" = []
+        self._pools_lock = threading.Lock()
 
     @property
     def label(self) -> str:
         return f"parallel[{self.workers}]"
+
+    def _register_pool(self, pool: ProcessPoolExecutor) -> None:
+        with self._pools_lock:
+            # Opportunistic pruning keeps the registry bounded across a
+            # long-lived executor's many map() calls: a pool whose
+            # worker processes have all exited needs no further join.
+            self._pools = [
+                entry
+                for entry in self._pools
+                if any(proc.is_alive() for proc in tuple(entry[1].values()))
+            ]
+            self._pools.append((pool, pool._processes))
+
+    def close(self) -> None:
+        """Join every worker process this executor ever started.
+
+        Idempotent and safe concurrently with (or after) ``map``;
+        subsequent ``map`` calls still work — close() is a reaping
+        point, not a poison pill — but owners are expected to drop the
+        executor afterwards.
+        """
+        with self._pools_lock:
+            pools, self._pools = self._pools, []
+        for pool, processes in pools:
+            pool.shutdown(wait=True, cancel_futures=True)
+            for proc in tuple(processes.values()):
+                proc.join()
 
     def map(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
@@ -442,6 +488,7 @@ class ParallelExecutor:
 
         collect = obs.active_collector() is not None
         pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
+        self._register_pool(pool)
         died = False
         try:
             while queue or in_flight:

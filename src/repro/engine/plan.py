@@ -49,6 +49,14 @@ class ExperimentPlan:
     key: str
     settings: "PerfSettings | None" = None
     experiment: "Experiment" = field(repr=False, compare=False, default=None)
+    #: Row-identity fields for the sweep store: the resolved solver
+    #: backend, a stable digest of the fault model ("none" for a
+    #: perfect array) and the context seed.  Carried on the plan so
+    #: the serve plane can spill results as typed rows without keeping
+    #: the originating context around.
+    solver: str = "reference"
+    fault_set: str = "none"
+    seed: int = 0
 
     @property
     def simulation(self) -> bool:
@@ -85,6 +93,13 @@ def build_plan(
         key=key,
         settings=settings if experiment.simulation else None,
         experiment=experiment,
+        solver=context.solver or "reference",
+        fault_set=(
+            config_hash(context.faults)[:12]
+            if context.faults is not None
+            else "none"
+        ),
+        seed=context.seed,
     )
 
 

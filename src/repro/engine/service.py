@@ -117,6 +117,13 @@ class ServeOptions:
     infra_retries: int = 4
     #: Chaos policy installed process-wide and shipped to pool workers.
     chaos: "chaos.ChaosPolicy | None" = None
+    #: Sweep-store directory: completed results are additionally
+    #: spilled as typed rows (``repro.sweepstore``) instead of living
+    #: only in transient JSON responses.  ``None`` disables the hook.
+    sweep_dir: str | None = None
+    #: Buffered rows per spilled shard (the buffer also flushes on
+    #: graceful shutdown, so no completed result is ever lost).
+    sweep_flush_rows: int = 256
 
 
 class _RequestError(Exception):
@@ -160,6 +167,14 @@ class EngineService:
         self._request_tasks: set[asyncio.Task] = set()
         self._shutdown = asyncio.Event()
         self._draining = False
+        self._spill = None
+        if self.options.sweep_dir is not None:
+            from ..sweepstore.ingest import SweepSpill
+
+            self._spill = SweepSpill(
+                self.options.sweep_dir,
+                flush_rows=self.options.sweep_flush_rows,
+            )
 
     def _make_backend(self, kind: str) -> "ComputeBackend":
         options = self.options
@@ -237,6 +252,11 @@ class EngineService:
         self._backend.close()
         for reaper in self._reapers:
             reaper.join(timeout=30.0)
+        if self._spill is not None:
+            try:
+                self._spill.flush()
+            except Exception:  # noqa: BLE001 - drain must not fail on spill
+                self._note("sweep.append_errors")
         if self.options.chaos is not None:
             chaos.uninstall()  # don't leak the policy past this service
 
@@ -506,11 +526,33 @@ class EngineService:
                         f"request exceeded deadline_s={deadline_s}",
                     ) from None
             self._note("service.completed")
+            self._sweep_append(plan, result)
             return result
         finally:
             self._pending -= 1
             self._note_depth()
             self._note_latency(time.monotonic() - start)
+
+    def _sweep_append(
+        self, plan: "ExperimentPlan", result: "ExperimentResult"
+    ) -> None:
+        """Spill one completed result into the sweep store (best effort).
+
+        Row extraction and the occasional shard write are fast relative
+        to an experiment, so this runs inline on the completion path; a
+        sweep-store failure is counted, never propagated — responses do
+        not depend on the analytics sink.
+        """
+        if self._spill is None:
+            return
+        try:
+            appended = self._spill.add(
+                result, solver=plan.solver, fault_set=plan.fault_set
+            )
+            if appended:
+                self._note("sweep.appended_rows", appended)
+        except Exception:  # noqa: BLE001 - the sink must not break serving
+            self._note("sweep.append_errors")
 
     async def _execute(
         self, plan: "ExperimentPlan", context
@@ -757,6 +799,16 @@ def serve_main(argv: "list[str] | None" = None) -> int:
         help="seconds of load shedding after a breaker trip",
     )
     parser.add_argument(
+        "--sweep-dir", default=None, metavar="DIR",
+        help="also spill completed results as typed rows into this "
+        "sweep store (see 'python -m repro sweep')",
+    )
+    parser.add_argument(
+        "--sweep-flush-rows", type=int, default=256, metavar="N",
+        help="buffered rows per spilled sweep shard (the buffer also "
+        "flushes on graceful shutdown)",
+    )
+    parser.add_argument(
         "--chaos", default=None, metavar="SPEC",
         help="chaos policy spec, e.g. 'seed=7,kill_worker_rate=0.3' "
              "(see repro.chaos.ChaosPolicy)",
@@ -785,6 +837,8 @@ def serve_main(argv: "list[str] | None" = None) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
         chaos=chaos_policy,
+        sweep_dir=args.sweep_dir,
+        sweep_flush_rows=max(1, args.sweep_flush_rows),
     )
 
     async def _amain() -> int:

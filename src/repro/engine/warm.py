@@ -23,6 +23,7 @@ drops it (tests and benchmarks use this to get cold timings).
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
@@ -59,7 +60,10 @@ def _context_key(
         seed,
         solver_name(solver),
         config_hash(faults) if faults is not None and not faults.is_null else None,
-        cache_dir,
+        # Absolute-path normalisation: a relative and an absolute
+        # spelling of one directory must share one context, not race
+        # two model caches onto one disk cache.
+        os.path.abspath(cache_dir) if cache_dir is not None else None,
         workers,
         strict,
     )
@@ -90,8 +94,9 @@ def warm_context(
             return context
     # Construction happens outside the lock (it may import solver
     # backends); a racing builder of the same key is harmless — the
-    # second insert wins and the loser is garbage collected before it
-    # accumulates meaningful warm state.
+    # first insert wins and the loser is *closed* below, so an executor
+    # it may have spun worker processes up for is reaped rather than
+    # left for the OS.
     context = RunContext(
         config=config,
         seed=seed,
@@ -101,14 +106,22 @@ def warm_context(
         strict=strict,
         solver=solver,
     )
+    evicted: "list[RunContext]" = []
     with _LOCK:
         existing = _CONTEXTS.get(key)
         if existing is not None:
             _CONTEXTS.move_to_end(key)
-            return existing
-        _CONTEXTS[key] = context
-        while len(_CONTEXTS) > _MAX_WARM:
-            _CONTEXTS.popitem(last=False)
+        else:
+            _CONTEXTS[key] = context
+            while len(_CONTEXTS) > _MAX_WARM:
+                _, old = _CONTEXTS.popitem(last=False)
+                evicted.append(old)
+    # close() may join worker processes — never under the registry lock.
+    for old in evicted:
+        old.close()
+    if existing is not None:
+        context.close()  # the losing racer's resources, not its caller's
+        return existing
     return context
 
 
@@ -124,9 +137,17 @@ def default_context() -> RunContext:
 
 
 def clear_warm_contexts() -> None:
-    """Drop every memoised context (next calls build cold ones)."""
+    """Drop and close every memoised context (next calls build cold ones).
+
+    Closing releases each context's executor worker pools; a caller
+    still holding one of the dropped contexts can keep using it — its
+    executor transparently builds fresh pools on the next ``map``.
+    """
     with _LOCK:
+        dropped = list(_CONTEXTS.values())
         _CONTEXTS.clear()
+    for context in dropped:
+        context.close()
 
 
 def warm_context_count() -> int:

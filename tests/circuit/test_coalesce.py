@@ -225,6 +225,58 @@ class TestLifecycle:
             uninstall_coalescer(coalescer)
             other.close()
 
+    def test_close_interrupts_a_long_window_promptly(self, ladder_builder):
+        """Regression: close() used to wait out sleep-poll chunks of the
+        gather window; the condition wait must wake immediately."""
+        import time
+
+        c = SolveCoalescer(window_s=5.0)
+        got = []
+
+        def submit():
+            got.append(c.solve_many("reference", _ladders(ladder_builder, 1)))
+
+        thread = threading.Thread(target=submit)
+        thread.start()
+        time.sleep(0.05)  # let the job land and the window open
+        start = time.monotonic()
+        c.close()
+        elapsed = time.monotonic() - start
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        # The submitted job was still solved on the way out...
+        assert len(got) == 1 and len(got[0]) == 1
+        # ...and close() never waited out the 5 s window.
+        assert elapsed < 2.0
+
+    def test_full_round_ends_the_window_early(self, ladder_builder):
+        """max_jobs arrivals release the dispatcher before the deadline."""
+        import time
+
+        c = SolveCoalescer(window_s=5.0, max_jobs=2)
+        try:
+            barrier = threading.Barrier(2)
+            results = [None, None]
+
+            def submit(i):
+                net = _ladders(ladder_builder, 1)[0]
+                barrier.wait()
+                results[i] = c.solve_many("reference", [net])[0]
+
+            start = time.monotonic()
+            threads = [
+                threading.Thread(target=submit, args=(i,)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10.0)
+            elapsed = time.monotonic() - start
+            assert all(r is not None for r in results)
+            assert elapsed < 2.0  # did not sleep out the 5 s window
+        finally:
+            c.close()
+
     def test_closed_coalescer_rejects_submissions(self, ladder_builder):
         c = SolveCoalescer(window_s=0.0)
         c.close()

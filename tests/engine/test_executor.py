@@ -271,6 +271,52 @@ class TestDrainDeadlines:
         assert [r.value for r in results] == ["ok"] * 3
 
 
+class TestCloseLifecycle:
+    """close() must join every worker process the executor started."""
+
+    def test_close_joins_worker_processes(self):
+        executor = ParallelExecutor(2)
+        assert [r.value for r in executor.map(_square, [1, 2, 3, 4])] == [
+            1, 4, 9, 16,
+        ]
+        procs = [
+            proc
+            for _, processes in executor._pools
+            for proc in processes.values()
+        ]
+        assert procs  # the map really did fan out
+        executor.close()
+        assert executor._pools == []
+        assert all(not proc.is_alive() for proc in procs)
+
+    def test_close_is_idempotent_and_map_still_works(self):
+        executor = ParallelExecutor(2)
+        executor.map(_square, [1, 2, 3, 4])
+        executor.close()
+        executor.close()  # a second close is a no-op, not an error
+        # close() is a reaping point, not a poison pill.
+        assert [r.value for r in executor.map(_square, [5, 6, 7, 8])] == [
+            25, 36, 49, 64,
+        ]
+        executor.close()
+        assert executor._pools == []
+
+    def test_close_before_any_map_is_a_noop(self):
+        ParallelExecutor(2).close()
+
+    def test_registry_prunes_dead_pools_across_maps(self):
+        executor = ParallelExecutor(2)
+        for batch in range(3):
+            executor.map(_square, [1, 2, 3, 4])
+            executor.close()  # everything joined -> nothing left to track
+            assert executor._pools == []
+
+    def test_serial_close_is_a_noop(self):
+        executor = SerialExecutor()
+        executor.close()
+        assert [r.value for r in executor.map(_square, [3])] == [9]
+
+
 class TestObservability:
     def test_serial_map_counts_tasks_and_span(self):
         from repro import obs

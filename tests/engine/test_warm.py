@@ -1,5 +1,7 @@
 """Warm shared contexts: one model cache across repeated runs."""
 
+import threading
+
 import pytest
 
 from repro.engine import run_experiment
@@ -68,6 +70,126 @@ class TestMemoisation:
     def test_cache_dir_none_disables_disk_cache(self, tmp_path):
         assert not warm_context().cache.enabled
         assert warm_context(cache_dir=str(tmp_path)).cache.enabled
+
+    def test_cache_dir_spellings_share_one_context(self, tmp_path, monkeypatch):
+        """Relative and absolute spellings of one directory are one key.
+
+        Before normalisation they raced two model caches onto one disk
+        cache; now they memoise to the same context object.
+        """
+        monkeypatch.chdir(tmp_path)
+        relative = warm_context(cache_dir="cache")
+        absolute = warm_context(cache_dir=str(tmp_path / "cache"))
+        assert relative is absolute
+        assert warm_context_count() == 1
+
+
+class _TrackingExecutor:
+    """Stand-in executor recording whether its owner closed it."""
+
+    workers = 1
+
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestEvictionLifecycle:
+    """Evicted/raced contexts must close their executors, not leak them."""
+
+    def test_churn_closes_every_evicted_executor(self, monkeypatch):
+        from repro.engine import warm
+
+        made = []
+
+        def tracked_executor(workers, strict=False):
+            executor = _TrackingExecutor()
+            made.append(executor)
+            return executor
+
+        monkeypatch.setattr(warm, "make_executor", tracked_executor)
+        churn = _MAX_WARM + 5
+        for seed in range(churn):
+            warm_context(seed=seed)
+        assert warm_context_count() == _MAX_WARM
+        assert len(made) == churn
+        closed = [executor for executor in made if executor.closed]
+        assert len(closed) == churn - _MAX_WARM  # exactly the evictees
+        assert made[: churn - _MAX_WARM] == closed  # oldest-first eviction
+
+    def test_clear_closes_all_executors(self, monkeypatch):
+        from repro.engine import warm
+
+        made = []
+
+        def tracked_executor(workers, strict=False):
+            executor = _TrackingExecutor()
+            made.append(executor)
+            return executor
+
+        monkeypatch.setattr(warm, "make_executor", tracked_executor)
+        for seed in range(3):
+            warm_context(seed=seed)
+        clear_warm_contexts()
+        assert all(executor.closed for executor in made)
+
+    def test_construction_race_converges_to_one_context(self, monkeypatch):
+        """Racing builders of one key share the winner; losers close."""
+        from repro.engine import warm
+
+        made = []
+        lock = threading.Lock()
+
+        def tracked_executor(workers, strict=False):
+            executor = _TrackingExecutor()
+            with lock:
+                made.append(executor)
+            return executor
+
+        monkeypatch.setattr(warm, "make_executor", tracked_executor)
+        barrier = threading.Barrier(4)
+        got = []
+
+        def build():
+            barrier.wait()
+            context = warm_context(seed=99)
+            with lock:
+                got.append(context)
+
+        threads = [threading.Thread(target=build) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(map(id, got))) == 1
+        assert warm_context_count() == 1
+        # Every constructed-but-losing executor was closed; exactly the
+        # winner's stayed open.
+        open_executors = [e for e in made if not e.closed]
+        assert len(open_executors) == 1
+        assert got[0].executor is open_executors[0]
+
+    def test_evicted_parallel_context_leaves_no_live_children(self):
+        """End to end: a churned-out context's worker processes die."""
+        from repro.engine.executor import ParallelExecutor
+
+        context = warm_context(seed=1234, workers=2)
+        assert isinstance(context.executor, ParallelExecutor)
+        context.executor.map(_square_task, [1, 2, 3, 4])
+        procs = [
+            proc
+            for _, processes in context.executor._pools
+            for proc in processes.values()
+        ]
+        assert procs
+        clear_warm_contexts()
+        assert all(not proc.is_alive() for proc in procs)
+
+
+def _square_task(x):
+    return x * x
 
 
 class TestRunnerIntegration:
