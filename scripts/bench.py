@@ -45,6 +45,13 @@ per storage backend — ingest rows/s, combine/query wall, the cross-run
 design-point join, and the canonical-table fingerprint certifying
 byte-identical results between parquet and the npz fallback.
 
+Schema 7 adds an ``mc_matrix``: a K=64 Monte Carlo variability
+ensemble (:mod:`repro.mc`) through the ``batched`` backend's
+``solve_ensemble``, measured in samples/s against the per-instance
+reference path (a fresh fault-keyed model per instance, so every
+instance re-solves its own profile grid and WL calibration).  The
+validator holds the amortization ratio at >= 5x.
+
 ``--compare OLD.json`` prints a speedup table (wall time, peak RSS,
 factorisation counts) of this run against a previous document and, with
 ``--fail-over R``, exits non-zero if any shared experiment got more
@@ -117,13 +124,28 @@ SWEEP_SEEDS = 50
 SWEEP_CONFIGS = 10
 SWEEP_SHARD_ROWS = 5_000
 
+#: MC-matrix workload: a K-instance Monte Carlo variability ensemble
+#: (MC_ARRAY_SIZE array, composite faults at MC_RATE) through the
+#: ``batched`` backend's ``solve_ensemble``, compared against the
+#: per-instance reference path — a fresh fault-keyed model per
+#: instance (timed on a subset and extrapolated), so each instance
+#: pays its own profile-grid and WL-calibration solves.
+MC_ARRAY_SIZE = 64
+MC_SAMPLES = 64
+MC_RATE = 1e-2
+MC_SEED = 11
+MC_REFERENCE_INSTANCES = 8
+MC_MIN_AMORTIZATION = 5.0
+
 #: v4: adds ``service_matrix`` (concurrent request throughput through
 #: the ``repro serve`` planes vs serialized one-shot runs).
 #: v5: adds ``recovery_matrix`` (steady vs during-kill throughput on
 #: the supervised process pool, time-to-recover after a breaker trip).
 #: v6: adds ``sweep_matrix`` (columnar sweep-store ETL: ingest rate,
 #: combine/query/cross-run-join latency at 1e5 rows, backend parity).
-SCHEMA = 6
+#: v7: adds ``mc_matrix`` (K=64 Monte Carlo ensemble samples/s on the
+#: batched backend vs per-instance reference solves, >= 5x gate).
+SCHEMA = 7
 
 
 def _reset_shared_state() -> None:
@@ -673,12 +695,83 @@ def run_sweep_matrix() -> dict:
     }
 
 
+def run_mc_matrix() -> dict:
+    """Monte Carlo ensemble throughput vs per-instance reference solves.
+
+    The ensemble leg stacks ``MC_SAMPLES`` independently seeded array
+    instances through :func:`repro.mc.run_ensemble` on the ``batched``
+    backend: all missing profile quanta solve as one flat batch over
+    the shared sparsity pattern.  The reference leg replays what the
+    repo did before ``repro.mc`` existed — a fresh fault-keyed
+    :class:`ArrayIRModel` per instance, each re-solving its own
+    profile grid and WL calibration on the ``reference`` backend —
+    timed on ``MC_REFERENCE_INSTANCES`` instances and extrapolated.
+    """
+    from repro.faults import FaultModel
+    from repro.mc import run_ensemble
+
+    config = default_config(size=MC_ARRAY_SIZE)
+    master = FaultModel.at_rate(MC_RATE, seed=MC_SEED)
+
+    _reset_shared_state()
+    start = time.perf_counter()
+    for instance in range(MC_REFERENCE_INSTANCES):
+        model = ArrayIRModel(
+            config,
+            faults=master.for_instance(instance),
+            solver="reference",
+        )
+        model.latency_map()
+    reference_wall = time.perf_counter() - start
+    reference_rate = MC_REFERENCE_INSTANCES / reference_wall
+
+    _reset_shared_state()
+    context = RunContext(model_cache=ModelCache(), config=config, solver="batched")
+    start = time.perf_counter()
+    result = run_ensemble(context, samples=MC_SAMPLES, faults=master)
+    ensemble_wall = time.perf_counter() - start
+    ensemble_rate = MC_SAMPLES / ensemble_wall
+
+    amortization = round(ensemble_rate / reference_rate, 3)
+    print(
+        f"mc: K={MC_SAMPLES} ensemble {ensemble_wall:7.3f}s "
+        f"({ensemble_rate:8.1f} samples/s, {result.quanta_solved} quanta), "
+        f"reference {reference_rate:8.1f} samples/s "
+        f"({MC_REFERENCE_INSTANCES} timed) -> {amortization:.2f}x",
+        flush=True,
+    )
+    return {
+        "workload": (
+            f"K={MC_SAMPLES} Monte Carlo variability ensemble on a "
+            f"{MC_ARRAY_SIZE}x{MC_ARRAY_SIZE} array (composite faults at "
+            f"{MC_RATE:g}) through solve_ensemble on the batched backend "
+            "vs per-instance reference solves"
+        ),
+        "array_size": MC_ARRAY_SIZE,
+        "samples": MC_SAMPLES,
+        "fault_rate": MC_RATE,
+        "solver": "batched",
+        "ensemble": {
+            "wall_s": round(ensemble_wall, 6),
+            "samples_per_s": round(ensemble_rate, 3),
+            "quanta_solved": result.quanta_solved,
+        },
+        "reference": {
+            "instances_timed": MC_REFERENCE_INSTANCES,
+            "wall_s": round(reference_wall, 6),
+            "samples_per_s": round(reference_rate, 3),
+        },
+        "amortization_vs_reference": amortization,
+    }
+
+
 def build_document(
     entries: list[dict],
     solver_entries: list[dict],
     service_matrix: dict,
     recovery_matrix: dict,
     sweep_matrix: dict,
+    mc_matrix: dict,
     quick: bool,
 ) -> dict:
     return {
@@ -701,6 +794,7 @@ def build_document(
         "service_matrix": service_matrix,
         "recovery_matrix": recovery_matrix,
         "sweep_matrix": sweep_matrix,
+        "mc_matrix": mc_matrix,
         "totals": {
             "experiments": len(entries),
             "wall_s": round(sum(e["wall_s"] for e in entries), 6),
@@ -720,7 +814,7 @@ def validate(document: dict) -> None:
     expected = {
         "schema", "date", "host", "version", "quick", "entries",
         "solver_matrix", "service_matrix", "recovery_matrix",
-        "sweep_matrix", "totals",
+        "sweep_matrix", "mc_matrix", "totals",
     }
     check(set(document) == expected, f"top-level keys must be {sorted(expected)}")
     check(document["schema"] == SCHEMA, f"schema must be {SCHEMA}")
@@ -982,6 +1076,72 @@ def validate(document: dict) -> None:
         sweep["parity"],
         "canonical tables must be byte-identical across storage backends",
     )
+    mc = document["mc_matrix"]
+    mc_keys = {
+        "workload", "array_size", "samples", "fault_rate", "solver",
+        "ensemble", "reference", "amortization_vs_reference",
+    }
+    check(
+        isinstance(mc, dict) and set(mc) == mc_keys,
+        f"mc_matrix keys must be {sorted(mc_keys)}",
+    )
+    check(
+        isinstance(mc["samples"], int) and mc["samples"] >= 64,
+        "mc_matrix.samples must cover a K>=64 ensemble",
+    )
+    check(
+        mc["solver"] in available_solvers(),
+        "mc_matrix.solver must be a registered backend",
+    )
+    check(
+        isinstance(mc["fault_rate"], (int, float)) and mc["fault_rate"] > 0,
+        "mc_matrix.fault_rate must be positive (variability needs spread)",
+    )
+    ensemble = mc["ensemble"]
+    check(
+        isinstance(ensemble, dict)
+        and set(ensemble) == {"wall_s", "samples_per_s", "quanta_solved"},
+        "mc_matrix.ensemble keys must be "
+        "[quanta_solved, samples_per_s, wall_s]",
+    )
+    check(
+        isinstance(ensemble["wall_s"], (int, float)) and ensemble["wall_s"] > 0,
+        "mc_matrix.ensemble.wall_s must be a positive number",
+    )
+    check(
+        isinstance(ensemble["samples_per_s"], (int, float))
+        and ensemble["samples_per_s"] > 0,
+        "mc_matrix.ensemble.samples_per_s must be a positive number",
+    )
+    check(
+        isinstance(ensemble["quanta_solved"], int)
+        and ensemble["quanta_solved"] >= 1,
+        "the ensemble must have solved at least one profile quantum",
+    )
+    mc_reference = mc["reference"]
+    check(
+        isinstance(mc_reference, dict)
+        and set(mc_reference) == {"instances_timed", "wall_s", "samples_per_s"},
+        "mc_matrix.reference keys must be "
+        "[instances_timed, samples_per_s, wall_s]",
+    )
+    check(
+        isinstance(mc_reference["instances_timed"], int)
+        and mc_reference["instances_timed"] >= 1,
+        "mc_matrix.reference must time at least one instance",
+    )
+    check(
+        isinstance(mc_reference["wall_s"], (int, float))
+        and mc_reference["wall_s"] > 0,
+        "mc_matrix.reference.wall_s must be a positive number",
+    )
+    check(
+        isinstance(mc["amortization_vs_reference"], (int, float))
+        and mc["amortization_vs_reference"] >= MC_MIN_AMORTIZATION,
+        "mc_matrix.amortization_vs_reference must reach "
+        f">= {MC_MIN_AMORTIZATION}x (ensemble batching must amortize "
+        "factorisation work across instances)",
+    )
     totals = document["totals"]
     check(
         isinstance(totals, dict)
@@ -1127,9 +1287,10 @@ def main(argv: list[str] | None = None) -> int:
     service_matrix = run_service_matrix()
     recovery_matrix = run_recovery_matrix()
     sweep_matrix = run_sweep_matrix()
+    mc_matrix = run_mc_matrix()
     document = build_document(
         entries, solver_entries, service_matrix, recovery_matrix,
-        sweep_matrix, quick=args.quick,
+        sweep_matrix, mc_matrix, quick=args.quick,
     )
     validate(document)  # never emit a document the validator rejects
     out = pathlib.Path(

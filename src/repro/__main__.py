@@ -150,6 +150,12 @@ def main(argv: list[str] | None = None) -> int:
         "reference within 1e-9 V and use their own cache namespace)",
     )
     parser.add_argument(
+        "--mc-samples", type=int, default=None, metavar="K",
+        help="Monte Carlo ensemble size per configuration for experiments "
+        "that declare a 'samples' parameter (e.g. mc-sweep); participates "
+        "in the result-cache key",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="collect tracing spans and counters for the run and print a "
         "profile report (also embedded under meta.profile with --json)",
@@ -200,6 +206,15 @@ def main(argv: list[str] | None = None) -> int:
         from . import obs
 
         collector = obs.Collector()
+    params = {}
+    if args.mc_samples is not None:
+        if args.mc_samples < 1:
+            print(
+                f"--mc-samples must be >= 1, got {args.mc_samples}",
+                file=sys.stderr,
+            )
+            return 2
+        params["samples"] = args.mc_samples
     context = RunContext(
         seed=args.seed,
         executor=make_executor(args.workers, strict=args.strict),
@@ -208,6 +223,7 @@ def main(argv: list[str] | None = None) -> int:
         strict=args.strict,
         collector=collector,
         solver=args.solver,
+        params=params,
     )
     result = run_experiment(args.experiment, context, settings)
     if args.json != "-":  # JSON-on-stdout mode keeps stdout machine-readable

@@ -164,6 +164,54 @@ class ReducedArrayModel:
             )
         ]
 
+    def solve_reset_ensemble(
+        self,
+        jobs: "list[tuple[int, tuple[int, ...], float | dict[int, float] | None]]",
+        bias: BiasScheme = BASELINE_BIAS,
+        initials: "list[np.ndarray | None] | None" = None,
+        chunk: int | None = None,
+    ) -> "list[tuple[ReducedSolution, np.ndarray]]":
+        """Solve a Monte Carlo ensemble of RESET jobs with per-job drive.
+
+        Each job is ``(row, cols, v_applied)`` — unlike
+        :meth:`solve_reset_batch`, the drive voltage varies *per job*,
+        which is what an ensemble of array instances with sampled pump
+        droop needs.  All jobs share the array geometry, so their
+        networks share one sparsity pattern and the whole flat batch
+        goes through the backend's ``solve_ensemble`` (chunked
+        block-diagonal stacking on ``batched``).  Returns
+        ``(solution, voltages)`` pairs like :meth:`solve_reset_batch`.
+        """
+        from .solvers import dispatch_solve_ensemble
+
+        prepared = [
+            self._normalise(row, cols, v_applied) for row, cols, v_applied in jobs
+        ]
+        built = [
+            self._build_reset_network(row, cols, drive, bias)
+            for row, cols, drive in prepared
+        ]
+        with obs.span(
+            "solve.reduced.ensemble",
+            array=self.config.array.size,
+            batch=len(built),
+        ):
+            solutions = dispatch_solve_ensemble(
+                self.solver,
+                [net for net, _wl, _bl in built],
+                initials=initials,
+                chunk=chunk,
+            )
+        return [
+            (
+                self._extract(solution, row, cols, wl_nodes, bl_nodes),
+                solution.voltages,
+            )
+            for solution, (row, cols, _drive), (_net, wl_nodes, bl_nodes) in zip(
+                solutions, prepared, built
+            )
+        ]
+
     def _normalise(
         self,
         row: int,

@@ -51,6 +51,7 @@ __all__ = [
     "active_coalescer",
     "available_solvers",
     "dispatch_solve",
+    "dispatch_solve_ensemble",
     "dispatch_solve_many",
     "get_backend",
     "install_coalescer",
@@ -174,6 +175,44 @@ def dispatch_solve_many(
             tol=tol,
             max_iterations=max_iterations,
             v_step_limit=v_step_limit,
+        )
+    return coalescer.solve_many(
+        solver_name(solver),
+        networks,
+        initials=initials,
+        tol=tol,
+        max_iterations=max_iterations,
+        v_step_limit=v_step_limit,
+    )
+
+
+def dispatch_solve_ensemble(
+    solver: "str | SolverBackend | None",
+    networks,
+    initials=None,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+    v_step_limit: float = 0.25,
+    chunk: int | None = None,
+):
+    """Solve a Monte Carlo ensemble, coalescer-compatible.
+
+    Without a coalescer this is ``get_backend(...).solve_ensemble``
+    (the ``batched`` backend chunks the ensemble; every other backend
+    falls through to its ``solve_many``).  With one installed — the
+    service's thread compute plane — the ensemble is submitted as an
+    ordinary batch so it can merge with concurrent requests; chunking
+    then happens wherever the coalescer's dispatcher lands the work.
+    """
+    coalescer = _COALESCER
+    if coalescer is None or isinstance(solver, SolverBackend):
+        return get_backend(solver).solve_ensemble(
+            networks,
+            initials=initials,
+            tol=tol,
+            max_iterations=max_iterations,
+            v_step_limit=v_step_limit,
+            chunk=chunk,
         )
     return coalescer.solve_many(
         solver_name(solver),

@@ -70,5 +70,33 @@ class SolverBackend(ABC):
             for network, initial in zip(networks, initials)
         ]
 
+    def solve_ensemble(
+        self,
+        networks: Sequence["Network"],
+        initials: Sequence[np.ndarray | None] | None = None,
+        tol: float = 1e-10,
+        max_iterations: int = 200,
+        v_step_limit: float = 0.25,
+        chunk: int | None = None,
+    ) -> "list[Solution]":
+        """Solve a Monte Carlo ensemble of structurally-alike networks.
+
+        An ensemble is a flat batch of independent networks that share
+        one sparsity pattern (K array instances of the same geometry at
+        instance-specific drive voltages).  The default implementation
+        is plain :meth:`solve_many` — ``chunk`` is advisory and ignored
+        — which keeps a K=1 ensemble byte-identical to the
+        single-instance path on every backend.  Backends that merge
+        blocks may override to bound the merged system size.
+        """
+        del chunk
+        return self.solve_many(
+            networks,
+            initials=initials,
+            tol=tol,
+            max_iterations=max_iterations,
+            v_step_limit=v_step_limit,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

@@ -60,9 +60,50 @@ class BatchedBackend(SolverBackend):
 
     name = "batched"
 
+    #: Upper bound on blocks merged per ensemble sub-batch.  Large
+    #: enough to amortize the factorisation across many instances,
+    #: small enough that the merged sparse system stays cache-friendly
+    #: and a single convergence fallback does not redo the whole run.
+    ensemble_chunk = 128
+
     def __init__(self, cache_size: int = 64, chord: bool = True) -> None:
         self.cache = StructureCache(maxsize=cache_size)
         self.chord = chord
+
+    def solve_ensemble(
+        self,
+        networks,
+        initials=None,
+        tol: float = 1e-10,
+        max_iterations: int = 200,
+        v_step_limit: float = 0.25,
+        chunk: int | None = None,
+    ):
+        """Chunked :meth:`solve_many` over one Monte Carlo ensemble.
+
+        Every sub-batch reuses the same cached structure (the ensemble
+        shares one sparsity pattern), so one factorisation per chord
+        refresh covers up to ``chunk`` instances at a time while the
+        merged system size stays bounded.
+        """
+        if not networks:
+            return []
+        chunk = self.ensemble_chunk if chunk is None or chunk <= 0 else chunk
+        obs.count("solver.ensemble_solves")
+        obs.count("solver.ensemble_networks", len(networks))
+        solutions = []
+        for start in range(0, len(networks), chunk):
+            stop = start + chunk
+            solutions.extend(
+                self.solve_many(
+                    networks[start:stop],
+                    initials=None if initials is None else initials[start:stop],
+                    tol=tol,
+                    max_iterations=max_iterations,
+                    v_step_limit=v_step_limit,
+                )
+            )
+        return solutions
 
     def solve(
         self,

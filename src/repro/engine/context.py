@@ -75,6 +75,7 @@ class RunContext:
         strict: bool = False,
         collector: "Collector | None" = None,
         solver: str | None = None,
+        params: "dict | None" = None,
     ) -> None:
         from ..circuit.solvers import solver_name
 
@@ -99,6 +100,11 @@ class RunContext:
         # Validated eagerly so an unknown --solver fails at context
         # construction, not deep inside the first solve.
         self.solver = solver_name(solver)
+        #: Experiment parameter overrides (e.g. ``{"samples": 64}`` from
+        #: ``--mc-samples``).  Only parameters an experiment *declares*
+        #: (``Experiment.params``) reach its driver and its cache key;
+        #: undeclared entries are inert for that experiment.
+        self.params = dict(params or {})
         self._schemes: dict[tuple[str, tuple[int, ...]], dict[str, Scheme]] = {}
         self._schemes_lock = threading.Lock()
         # Failure diagnostics are *per thread*: a warm context shared by

@@ -35,6 +35,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["ExperimentPlan", "build_plan", "execute_plan"]
 
 
+def _declared_params(experiment: "Experiment", context: "RunContext") -> dict:
+    """Context parameter overrides the experiment declares, by name.
+
+    The intersection keeps the params channel safe by construction: a
+    context carrying ``{"samples": 64}`` perturbs only experiments that
+    declare a ``samples`` parameter — every other driver's kwargs and
+    cache key are untouched.
+    """
+    declared = getattr(experiment, "params", ())
+    overrides = getattr(context, "params", None)
+    if not declared or not overrides:
+        return {}
+    return {name: overrides[name] for name in declared if name in overrides}
+
+
 @dataclass(frozen=True)
 class ExperimentPlan:
     """One resolved experiment request, ready for a compute backend.
@@ -76,7 +91,8 @@ def build_plan(
     """
     experiment = get_experiment(name)
     cfg_hash = config_hash(context.config)
-    key = cache_key(
+    params = _declared_params(experiment, context)
+    key_parts = [
         "experiment",
         cfg_hash,
         name,
@@ -86,7 +102,12 @@ def build_plan(
         # None under the default backend, preserving historical keys;
         # accelerated backends get their own cache namespace.
         context.solver if context.solver != "reference" else None,
-    )
+    ]
+    if params:
+        # Appended only when set, so every pre-params cache key (and
+        # every experiment that declares none) is byte-stable.
+        key_parts.append(tuple(sorted(params.items())))
+    key = cache_key(*key_parts)
     return ExperimentPlan(
         name=name,
         cfg_hash=cfg_hash,
@@ -127,6 +148,7 @@ def execute_plan(plan: ExperimentPlan, context: "RunContext") -> ExperimentResul
     kwargs: dict = {"config": context.config, "context": context}
     if experiment.simulation and plan.settings is not None:
         kwargs["settings"] = plan.settings
+    kwargs.update(_declared_params(experiment, context))
     context.drain_diagnostics()  # a fresh run starts with a clean slate
     with obs.span("experiment", name=plan.name):
         payload = experiment.driver(**kwargs)

@@ -37,6 +37,11 @@ class Experiment:
     workloads: tuple[str, ...] = ()  # Table IV workloads the driver consumes
     output_keys: tuple[str, ...] = ()  # required top-level payload keys
     quick: bool = True  # honours reduced sizing (circuit figures ignore it)
+    #: Driver keyword parameters the engine's params channel may set
+    #: (e.g. ``samples`` from ``--mc-samples``).  Declared values
+    #: participate in the disk-cache key, so two runs with different
+    #: parameters never alias.
+    params: tuple[str, ...] = ()
 
     def validate_payload(self, payload: dict) -> None:
         """Check a driver's payload against the declared output schema."""
@@ -65,6 +70,7 @@ def experiment(
     workloads: tuple[str, ...] = (),
     output_keys: tuple[str, ...] = (),
     name: str | None = None,
+    params: tuple[str, ...] = (),
 ):
     """Decorator: register a driver function as an :class:`Experiment`.
 
@@ -82,6 +88,7 @@ def experiment(
                 simulation=simulation,
                 workloads=tuple(workloads),
                 output_keys=tuple(output_keys),
+                params=tuple(params),
             )
         )
         return fn
@@ -93,6 +100,7 @@ def ensure_loaded() -> None:
     """Import the driver modules so their decorators have run."""
     from ..analysis import experiments  # noqa: F401  (import is the side effect)
     from ..faults import sweep  # noqa: F401
+    from ..mc import experiment as mc_experiment  # noqa: F401
 
 
 def all_experiments() -> dict[str, Experiment]:

@@ -59,6 +59,11 @@ class FaultModel:
         Lognormal sigma of per-cell LRS spread: scales each cell's
         RESET latency (a weaker filament switches slower), and through
         it the endurance map.
+    droop_sigma:
+        Lognormal sigma of array-to-array droop variation.  A Monte
+        Carlo instance samples its own pump sag around ``vrst_droop``
+        (see :meth:`sampled_droop`); the analytic single-array maps
+        keep using the nominal ``vrst_droop`` unchanged.
     seed:
         Base seed for every sampled mask/factor.
     """
@@ -68,6 +73,7 @@ class FaultModel:
     vrst_droop: float = 0.0
     r_wire_sigma: float = 0.0
     ron_sigma: float = 0.0
+    droop_sigma: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -81,7 +87,7 @@ class FaultModel:
             raise ValueError(
                 f"vrst_droop must be in [0, 1), got {self.vrst_droop}"
             )
-        for name in ("r_wire_sigma", "ron_sigma"):
+        for name in ("r_wire_sigma", "ron_sigma", "droop_sigma"):
             sigma = getattr(self, name)
             if sigma < 0.0:
                 raise ValueError(f"{name} must be >= 0, got {sigma}")
@@ -97,6 +103,7 @@ class FaultModel:
             and self.vrst_droop == 0.0
             and self.r_wire_sigma == 0.0
             and self.ron_sigma == 0.0
+            and self.droop_sigma == 0.0
         )
 
     @classmethod
@@ -116,11 +123,32 @@ class FaultModel:
             vrst_droop=min(0.3, 2.0 * rate),
             r_wire_sigma=min(0.5, 5.0 * rate),
             ron_sigma=min(0.5, 5.0 * rate),
+            droop_sigma=min(0.1, 1.0 * rate),
             seed=seed,
         )
 
     def with_seed(self, seed: int) -> "FaultModel":
         return replace(self, seed=seed)
+
+    # -- Monte Carlo instance derivation -----------------------------------------
+
+    def instance_seed(self, instance: int) -> int:
+        """The derived seed of Monte Carlo instance ``instance``.
+
+        Mixes the instance index through the same chained-token scheme
+        as :meth:`~repro.engine.context.RunContext.seed_for` (an
+        ``"mc-instance"`` namespace token, then the index) rather than
+        ``seed + instance``: additive offsets would make instance ``i``
+        of seed ``s`` collide with instance ``0`` of seed ``s + i``,
+        entangling ensembles with the fault-sweep seed ladder.
+        """
+        if instance < 0:
+            raise ValueError(f"instance must be >= 0, got {instance}")
+        return _mix(_mix(self.seed, "mc-instance"), instance)
+
+    def for_instance(self, instance: int) -> "FaultModel":
+        """This fault scenario reseeded for one Monte Carlo instance."""
+        return replace(self, seed=self.instance_seed(instance))
 
     # -- deterministic sampling --------------------------------------------------
 
@@ -157,8 +185,68 @@ class FaultModel:
             self.ron_sigma * self.rng("ron").standard_normal((size, size))
         )
 
+    def sampled_droop(self) -> float:
+        """One array instance's pump droop, sampled around ``vrst_droop``.
+
+        With ``droop_sigma == 0`` this returns ``vrst_droop`` exactly —
+        no generator is consumed, so a zero-sigma instance is
+        bit-identical to the analytic single-array path.  Otherwise the
+        *retained* fraction ``1 - vrst_droop`` picks up a lognormal
+        factor (median 1), clamped so the instance never boosts above
+        the nominal supply and never collapses it entirely.
+        """
+        if self.droop_sigma == 0.0:
+            return self.vrst_droop
+        z = float(self.rng("droop").standard_normal())
+        retained = (1.0 - self.vrst_droop) * float(np.exp(self.droop_sigma * z))
+        return float(min(0.99, max(0.0, 1.0 - retained)))
+
     def applied_voltage(
         self, v: "float | np.ndarray"
     ) -> "float | np.ndarray":
         """An applied RESET voltage after charge-pump droop."""
         return v * (1.0 - self.vrst_droop)
+
+    # -- vectorized ensemble sampling --------------------------------------------
+    #
+    # The ensemble_* methods stack one draw per derived instance into
+    # (samples, ...) arrays.  Each instance's slice is bit-identical to
+    # the corresponding single-instance draw (``for_instance(i)`` then
+    # the scalar method) — the Monte Carlo engine depends on that to
+    # keep K=1 ensembles in exact parity with the analytic path, and
+    # the statistics suite locks it.
+
+    def ensemble_droops(self, samples: int) -> np.ndarray:
+        """Per-instance pump droop, shape (samples,)."""
+        return np.array(
+            [self.for_instance(i).sampled_droop() for i in range(samples)]
+        )
+
+    def ensemble_stuck_masks(
+        self, size: int, samples: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked stuck masks, each of shape (samples, size, size)."""
+        sa0 = np.empty((samples, size, size), dtype=bool)
+        sa1 = np.empty((samples, size, size), dtype=bool)
+        for i in range(samples):
+            sa0[i], sa1[i] = self.for_instance(i).stuck_masks(size)
+        return sa0, sa1
+
+    def ensemble_line_factors(
+        self, size: int, samples: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked per-line wire factors, each of shape (samples, size)."""
+        wl = np.empty((samples, size))
+        bl = np.empty((samples, size))
+        for i in range(samples):
+            wl[i], bl[i] = self.for_instance(i).line_factors(size)
+        return wl, bl
+
+    def ensemble_cell_latency_factors(
+        self, size: int, samples: int
+    ) -> np.ndarray:
+        """Stacked per-cell latency spread, shape (samples, size, size)."""
+        cells = np.empty((samples, size, size))
+        for i in range(samples):
+            cells[i] = self.for_instance(i).cell_latency_factors(size)
+        return cells

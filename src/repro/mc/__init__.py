@@ -1,0 +1,27 @@
+"""Monte Carlo variability engine (ensembles, bands, surrogate).
+
+See ``docs/montecarlo.md`` for the seeding scheme, the amortization
+model behind ``solve_ensemble``, and the surrogate's validity region.
+"""
+
+from .ensemble import (
+    EnsembleResult,
+    InstanceResult,
+    PercentileBand,
+    run_ensemble,
+)
+from .experiment import DEFAULT_MC_RATES, DEFAULT_MC_SAMPLES, mc_sweep
+from .surrogate import DEFAULT_ERROR_BUDGET, LatencySurrogate, SurrogatePoint
+
+__all__ = [
+    "DEFAULT_ERROR_BUDGET",
+    "DEFAULT_MC_RATES",
+    "DEFAULT_MC_SAMPLES",
+    "EnsembleResult",
+    "InstanceResult",
+    "LatencySurrogate",
+    "PercentileBand",
+    "SurrogatePoint",
+    "mc_sweep",
+    "run_ensemble",
+]

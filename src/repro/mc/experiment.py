@@ -1,0 +1,80 @@
+"""The ``mc-sweep`` experiment: percentile bands over fault rates.
+
+For each fault rate a master :class:`~repro.faults.model.FaultModel`
+(the fault-sweep's composite ``at_rate`` profile, with array-to-array
+droop spread) seeds a K-instance Monte Carlo ensemble; the payload
+reports p1/p50/p99 latency and lifetime-at-risk bands per rate, plus
+per-instance rows under ``mc_instances`` in the exact shape the sweep
+store ingests — one row per (config, seed, instance), so
+``repro sweep query`` can re-aggregate bands across runs.
+
+``samples`` is a declared experiment parameter: the CLI's
+``--mc-samples`` flag reaches the driver (and the disk-cache key)
+through the engine's params channel.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig, default_config
+from ..engine.context import RunContext
+from ..engine.registry import experiment
+from ..faults.model import FaultModel
+from .ensemble import run_ensemble
+
+__all__ = ["mc_sweep", "DEFAULT_MC_RATES", "DEFAULT_MC_SAMPLES", "MC_SCHEME"]
+
+#: Fault rates the ensemble sweep steps through (a healthy-array
+#: control plus the fault-sweep's two stressed points).
+DEFAULT_MC_RATES = (0.0, 1e-3, 1e-2)
+
+#: Ensemble size per rate; override via ``--mc-samples``.
+DEFAULT_MC_SAMPLES = 32
+
+#: The scheme the ensemble models (static nominal Vrst drive).
+MC_SCHEME = "Base"
+
+
+@experiment(
+    name="mc-sweep",
+    output_keys=("samples", "rates", "bands", "mc_instances"),
+    params=("samples",),
+)
+def mc_sweep(
+    config: SystemConfig | None = None,
+    context: RunContext | None = None,
+    rates: tuple[float, ...] = DEFAULT_MC_RATES,
+    samples: int = DEFAULT_MC_SAMPLES,
+) -> dict:
+    """Monte Carlo variability: latency/lifetime percentile bands by rate."""
+    if context is None:
+        context = RunContext(config=config or default_config())
+    # One master seed for the whole sweep, derived through the context's
+    # token scheme; each ensemble re-derives per-instance seeds from it
+    # via FaultModel.for_instance, so rates never share instance draws
+    # with each other or with the fault-sweep's seed ladder.
+    seed = context.seed_for(43, "mc-sweep")
+    bands: dict[str, dict] = {}
+    mc_instances: dict[str, dict] = {}
+    for rate in rates:
+        master = FaultModel.at_rate(rate, seed=seed)
+        result = run_ensemble(context, samples=samples, faults=master)
+        bands[f"{rate:g}"] = {
+            "latency_us": result.latency_us.as_dict(),
+            "lifetime_at_risk": result.lifetime_at_risk.as_dict(),
+            "fail_fraction": result.fail_fraction.as_dict(),
+            "quanta_solved": result.quanta_solved,
+        }
+        for inst in result.instances:
+            key = f"{MC_SCHEME} @ {rate:g} # {inst.instance}"
+            mc_instances[key] = {
+                "latency_us": inst.latency_us,
+                "min_endurance": inst.min_endurance,
+                "fail_fraction": inst.fail_fraction,
+                "stuck_fraction": inst.stuck_fraction,
+            }
+    return {
+        "samples": samples,
+        "rates": list(rates),
+        "bands": bands,
+        "mc_instances": mc_instances,
+    }

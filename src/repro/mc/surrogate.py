@@ -1,0 +1,275 @@
+"""Interpolation surrogate over solved (voltage, fault-rate) regions.
+
+A Monte Carlo ensemble is cheap *per instance* but still runs Newton
+for every new voltage quantum; design-space exploration asks the same
+(Vrst, fault-rate) neighbourhoods over and over.  The surrogate fits a
+bilinear interpolation model over a grid of exact ensemble solves —
+each grid point persisted through the engine's
+:class:`~repro.engine.cache.ProfileStore`, so a refit in a later run
+loads its corners in O(1) instead of re-solving — and answers queries
+*inside* the fitted hull without touching Newton at all.
+
+Latency is interpolated in log space: Equation 1 makes log-latency
+nearly linear in voltage (``log Trst = log beta - k * Veff`` with the
+IR drop varying slowly in Vrst), so bilinear-in-log error stays well
+inside :data:`DEFAULT_ERROR_BUDGET` on held-out points (locked by
+``tests/mc/test_parity.py``).  Validity is self-monitored: every
+``spot_check_every``-th in-hull query re-runs the exact ensemble and
+records the worst relative error on the ``mc.surrogate.rel_error``
+gauge; out-of-hull queries fall back to the exact path and count as
+misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .. import obs
+from ..faults.model import FaultModel
+from .ensemble import run_ensemble
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.context import RunContext
+
+__all__ = ["LatencySurrogate", "SurrogatePoint", "DEFAULT_ERROR_BUDGET"]
+
+#: Declared relative-error budget of in-hull predictions against the
+#: exact ensemble (the parity suite holds held-out spot checks to it).
+DEFAULT_ERROR_BUDGET = 0.10
+
+#: Metrics the surrogate models (log-interpolated).
+_METRICS = ("latency_us_p50", "latency_us_p99", "lifetime_p1")
+
+#: Base seed of the surrogate's master fault models (mixed through the
+#: context's token scheme; distinct from mc-sweep's 43).
+_SURROGATE_SEED_BASE = 47
+
+
+@dataclass(frozen=True)
+class SurrogatePoint:
+    """One exactly-solved grid corner."""
+
+    v_applied: float
+    rate: float
+    latency_us_p50: float
+    latency_us_p99: float
+    lifetime_p1: float
+
+    def metric(self, name: str) -> float:
+        return float(getattr(self, name))
+
+
+class LatencySurrogate:
+    """Bilinear log-space surrogate over an exact ensemble grid.
+
+    Build via :meth:`fit`.  ``predict`` answers in O(1) inside the
+    fitted (voltage, rate) hull; outside it, the exact ensemble runs
+    and the query is counted as a miss, so callers always get a valid
+    answer and the hit/miss counters expose how often the fitted
+    region actually covers the workload.
+    """
+
+    def __init__(
+        self,
+        context: "RunContext",
+        voltages: np.ndarray,
+        rates: np.ndarray,
+        points: "dict[tuple[int, int], SurrogatePoint]",
+        samples: int,
+        error_budget: float = DEFAULT_ERROR_BUDGET,
+        spot_check_every: int = 8,
+    ) -> None:
+        self.context = context
+        self.voltages = voltages
+        self.rates = rates
+        self.points = points
+        self.samples = samples
+        self.error_budget = error_budget
+        self.spot_check_every = max(0, spot_check_every)
+        self.last_rel_error = 0.0
+        self._in_hull_queries = 0
+        # Log-space metric grids, shape (len(voltages), len(rates)).
+        self._grids = {
+            name: np.array(
+                [
+                    [
+                        _safe_log(points[(i, j)].metric(name))
+                        for j in range(len(rates))
+                    ]
+                    for i in range(len(voltages))
+                ]
+            )
+            for name in _METRICS
+        }
+
+    # -- fitting -----------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        context: "RunContext",
+        voltages: "tuple[float, ...] | list[float]",
+        rates: "tuple[float, ...] | list[float]",
+        samples: int = 16,
+        error_budget: float = DEFAULT_ERROR_BUDGET,
+        spot_check_every: int = 8,
+    ) -> "LatencySurrogate":
+        """Solve (or load) the exact grid and assemble the surrogate.
+
+        Grid corners already persisted by an earlier run load from the
+        context's :class:`~repro.engine.cache.ProfileStore` without
+        touching the solver — a warm refit is pure I/O.
+        """
+        v_axis = np.array(sorted(set(float(v) for v in voltages)))
+        r_axis = np.array(sorted(set(float(r) for r in rates)))
+        if v_axis.size < 2:
+            raise ValueError("surrogate needs at least two grid voltages")
+        if r_axis.size < 1:
+            raise ValueError("surrogate needs at least one fault rate")
+        points: dict[tuple[int, int], SurrogatePoint] = {}
+        for i, v in enumerate(v_axis):
+            for j, rate in enumerate(r_axis):
+                points[(i, j)] = _exact_point(context, float(v), float(rate), samples)
+        return cls(
+            context,
+            v_axis,
+            r_axis,
+            points,
+            samples,
+            error_budget=error_budget,
+            spot_check_every=spot_check_every,
+        )
+
+    # -- querying ----------------------------------------------------------------
+
+    def in_hull(self, v_applied: float, rate: float) -> bool:
+        """Whether a query point lies inside the fitted region."""
+        return bool(
+            self.voltages[0] <= v_applied <= self.voltages[-1]
+            and self.rates[0] <= rate <= self.rates[-1]
+        )
+
+    def predict(self, v_applied: float, rate: float) -> dict:
+        """Band metrics at ``(v_applied, rate)``.
+
+        In-hull: bilinear log-space interpolation, O(1), with a
+        deterministic exact spot check every ``spot_check_every``-th
+        query feeding the ``mc.surrogate.rel_error`` gauge.
+        Out-of-hull: the exact ensemble (counted as a miss).
+        """
+        if not self.in_hull(v_applied, rate):
+            obs.count("mc.surrogate.miss")
+            point = _exact_point(self.context, v_applied, rate, self.samples)
+            return self._as_prediction(point, exact=True)
+        obs.count("mc.surrogate.hit")
+        self._in_hull_queries += 1
+        predicted = {
+            name: float(np.exp(self._interpolate(name, v_applied, rate)))
+            for name in _METRICS
+        }
+        predicted["exact"] = False
+        if (
+            self.spot_check_every
+            and self._in_hull_queries % self.spot_check_every == 0
+        ):
+            self._spot_check(v_applied, rate, predicted)
+        return predicted
+
+    def _interpolate(self, name: str, v_applied: float, rate: float) -> float:
+        grid = self._grids[name]
+        i, ti = _bracket(self.voltages, v_applied)
+        j, tj = _bracket(self.rates, rate)
+        top = (1.0 - tj) * grid[i, j] + tj * grid[i, min(j + 1, grid.shape[1] - 1)]
+        i2 = min(i + 1, grid.shape[0] - 1)
+        bottom = (
+            (1.0 - tj) * grid[i2, j] + tj * grid[i2, min(j + 1, grid.shape[1] - 1)]
+        )
+        return (1.0 - ti) * top + ti * bottom
+
+    def _spot_check(
+        self, v_applied: float, rate: float, predicted: dict
+    ) -> None:
+        exact = _exact_point(self.context, v_applied, rate, self.samples)
+        worst = 0.0
+        for name in _METRICS:
+            reference = exact.metric(name)
+            if not np.isfinite(reference) or reference == 0.0:
+                continue
+            worst = max(worst, abs(predicted[name] - reference) / abs(reference))
+        self.last_rel_error = worst
+        obs.count("mc.surrogate.spot_checks")
+        obs.gauge("mc.surrogate.rel_error", worst)
+        if worst > self.error_budget:
+            obs.count("mc.surrogate.budget_violations")
+
+    @staticmethod
+    def _as_prediction(point: SurrogatePoint, exact: bool) -> dict:
+        out = {name: point.metric(name) for name in _METRICS}
+        out["exact"] = exact
+        return out
+
+
+def _bracket(axis: np.ndarray, value: float) -> tuple[int, float]:
+    """Lower grid index and interpolation fraction along one axis."""
+    i = int(np.searchsorted(axis, value, side="right") - 1)
+    i = max(0, min(i, axis.size - 2)) if axis.size > 1 else 0
+    if axis.size == 1:
+        return 0, 0.0
+    span = axis[i + 1] - axis[i]
+    t = 0.0 if span == 0 else float((value - axis[i]) / span)
+    return i, min(1.0, max(0.0, t))
+
+
+def _safe_log(value: float) -> float:
+    """Log with a floor so a zeroed metric cannot produce -inf grids."""
+    return float(np.log(max(value, 1e-300)))
+
+
+def _exact_point(
+    context: "RunContext", v_applied: float, rate: float, samples: int
+) -> SurrogatePoint:
+    """One exact ensemble solve, persisted through the ProfileStore."""
+    seed = context.seed_for(_SURROGATE_SEED_BASE, "mc-surrogate")
+    parts = (
+        "mc-point",
+        context.config_hash(),
+        context.solver,
+        samples,
+        seed,
+        f"{v_applied:.6f}",
+        f"{rate:.9g}",
+    )
+    store = context.profile_store
+    if store is not None and store.enabled:
+        cached = store.load(parts)
+        if _valid_point(cached):
+            obs.count("mc.surrogate.point_loads")
+            return SurrogatePoint(
+                v_applied=v_applied, rate=rate, **{k: cached[k] for k in _METRICS}
+            )
+    master = FaultModel.at_rate(rate, seed=seed)
+    result = run_ensemble(context, samples=samples, faults=master, v_applied=v_applied)
+    point = SurrogatePoint(
+        v_applied=v_applied,
+        rate=rate,
+        latency_us_p50=result.latency_us.p50,
+        latency_us_p99=result.latency_us.p99,
+        lifetime_p1=result.lifetime_at_risk.p1,
+    )
+    if store is not None and store.enabled:
+        store.store(parts, {name: point.metric(name) for name in _METRICS})
+    return point
+
+
+def _valid_point(value: object) -> bool:
+    """A persisted point must carry finite floats for every metric."""
+    if not isinstance(value, dict):
+        return False
+    for name in _METRICS:
+        metric = value.get(name)
+        if not isinstance(metric, float) or not np.isfinite(metric):
+            return False
+    return True

@@ -6,6 +6,11 @@ Two extraction modes:
   ``"<scheme> @ <rate>"`` with per-cell metric dicts): one row per
   (scheme, fault-rate) cell with the latency/endurance/fail-fraction
   metric columns filled — the shape the design-space queries join on.
+* **Instance rows** for Monte Carlo payloads (``mc_instances`` keyed
+  ``"<scheme> @ <rate> # <instance>"``): one row per (config, seed,
+  instance) with the same wide metric columns, the instance id carried
+  in ``cell`` — so ``repro sweep query`` can re-aggregate percentile
+  bands across runs and configurations.
 * **Long rows** for everything else: numeric payload leaves flattened
   into (``cell`` = dotted path, ``value`` = float) rows, capped so a
   payload carrying full voltage matrices cannot explode a shard.
@@ -119,6 +124,12 @@ def rows_from_result(
         rows = _wide_rows(base, payload)
         if rows:
             return rows
+    if isinstance(payload, dict) and isinstance(
+        payload.get("mc_instances"), dict
+    ):
+        rows = _mc_rows(base, payload)
+        if rows:
+            return rows
     return _generic_rows(base, payload)
 
 
@@ -140,6 +151,44 @@ def _wide_rows(base: dict, payload: dict) -> list[dict]:
             row["cell"] = f"{scheme}@{rate_text}"
         else:
             row["cell"] = str(key)
+        filled = False
+        for metric in _WIDE_METRICS:
+            value = _float(metrics.get(metric))
+            if value is not None:
+                row[metric] = value
+                filled = True
+        if filled:
+            rows.append(row)
+    return rows
+
+
+def _mc_rows(base: dict, payload: dict) -> list[dict]:
+    """One row per Monte Carlo (scheme, rate, instance) margin cell.
+
+    Keys follow ``"<scheme> @ <rate> # <instance>"``; the instance id
+    lands in ``cell`` (``"<scheme>@<rate>#i<instance>"``), keeping the
+    (config_hash, experiment, technique, solver, fault_set, seed, cell)
+    identity unique per instance so dedup folds re-ingests, not
+    instances.
+    """
+    rows: list[dict] = []
+    for key, metrics in payload["mc_instances"].items():
+        if not isinstance(metrics, dict):
+            continue
+        head, sep, instance_text = str(key).partition(" # ")
+        if not sep:
+            continue
+        scheme, at, rate_text = head.partition(" @ ")
+        if not at:
+            continue
+        try:
+            rate = float(rate_text)
+        except ValueError:
+            rate = float("nan")
+        row = dict(base)
+        row["technique"] = scheme
+        row["fault_rate"] = rate
+        row["cell"] = f"{scheme}@{rate_text}#i{instance_text.strip()}"
         filled = False
         for metric in _WIDE_METRICS:
             value = _float(metrics.get(metric))

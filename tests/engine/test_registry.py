@@ -12,10 +12,14 @@ from repro.engine.registry import (
     suggest,
 )
 from repro.faults import sweep as faults_sweep
+from repro.mc import experiment as mc_experiment
 from repro.workloads import benchmark_suite
 
 #: Registered drivers that live outside repro.analysis.experiments.
-EXTRA_DRIVERS = {"fault-sweep": faults_sweep.fault_sweep}
+EXTRA_DRIVERS = {
+    "fault-sweep": faults_sweep.fault_sweep,
+    "mc-sweep": mc_experiment.mc_sweep,
+}
 
 
 class TestCompleteness:

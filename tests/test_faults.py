@@ -87,6 +87,67 @@ class TestFaultModel:
         assert config_hash(fm) != config_hash(fm.with_seed(8))
 
 
+class TestInstanceSeeding:
+    """Monte Carlo per-instance seed derivation (``for_instance``)."""
+
+    def test_instance_seed_is_not_additive(self):
+        """The mixed derivation must not degenerate to ``seed + i``."""
+        fm = FaultModel.at_rate(1e-3, seed=20)
+        for i in range(64):
+            assert fm.instance_seed(i) != fm.seed + i
+
+    def test_no_collision_with_the_seed_ladder(self):
+        """Instance ``i`` of seed ``s`` != instance 0 of seed ``s + i``.
+
+        An additive scheme would alias ensemble members against the
+        fault-sweep's consecutive-seed ladder; the chained-token mix
+        keeps the two seed families disjoint.
+        """
+        ensemble = {FaultModel(seed=100).instance_seed(i) for i in range(32)}
+        ladder = {FaultModel(seed=100 + i).instance_seed(0) for i in range(1, 32)}
+        assert not ensemble & ladder
+
+    def test_instance_seeds_are_distinct_and_deterministic(self):
+        fm = FaultModel.at_rate(1e-2, seed=5)
+        seeds = [fm.instance_seed(i) for i in range(128)]
+        assert len(set(seeds)) == 128
+        assert seeds == [fm.instance_seed(i) for i in range(128)]
+
+    def test_for_instance_changes_only_the_seed(self):
+        fm = FaultModel.at_rate(1e-2, seed=5)
+        derived = fm.for_instance(3)
+        assert derived.seed == fm.instance_seed(3)
+        assert derived.sa0_rate == fm.sa0_rate
+        assert derived.r_wire_sigma == fm.r_wire_sigma
+        assert derived.droop_sigma == fm.droop_sigma
+
+    def test_negative_instance_rejected(self):
+        with pytest.raises(ValueError, match="instance"):
+            FaultModel().instance_seed(-1)
+
+    def test_sampled_droop_zero_sigma_is_exact(self):
+        """No generator draw at sigma 0: bit-equal to the analytic path."""
+        fm = FaultModel(vrst_droop=0.07, droop_sigma=0.0, seed=9)
+        assert fm.sampled_droop() == 0.07
+
+    def test_ensemble_samplers_match_per_instance_draws(self):
+        fm = FaultModel.at_rate(2e-2, seed=6)
+        droops = fm.ensemble_droops(5)
+        sa0, sa1 = fm.ensemble_stuck_masks(16, 5)
+        wl, bl = fm.ensemble_line_factors(16, 5)
+        cells = fm.ensemble_cell_latency_factors(16, 5)
+        for i in range(5):
+            inst = fm.for_instance(i)
+            assert droops[i] == inst.sampled_droop()
+            one0, one1 = inst.stuck_masks(16)
+            assert np.array_equal(sa0[i], one0)
+            assert np.array_equal(sa1[i], one1)
+            one_wl, one_bl = inst.line_factors(16)
+            assert np.array_equal(wl[i], one_wl)
+            assert np.array_equal(bl[i], one_bl)
+            assert np.array_equal(cells[i], inst.cell_latency_factors(16))
+
+
 class TestMapInjection:
     def test_null_fault_model_is_identity(self, small_config):
         nominal = ArrayIRModel(small_config)
