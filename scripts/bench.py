@@ -52,6 +52,15 @@ reference path (a fresh fault-keyed model per instance, so every
 instance re-solves its own profile grid and WL calibration).  The
 validator holds the amortization ratio at >= 5x.
 
+Schema 8 adds a ``shared_matrix``: a duplicate-heavy request mix
+(distinct fault identities, each requested several times) on the
+process compute plane with the shared-memory profile plane and solve
+coalescing enabled, against the same mix on the ship-back plane with
+both disabled — the pre-shared-plane process backend.  The validator
+holds the throughput speedup at >= 2x, the coalesce ratio at >= 2, and
+``duplicate_solves`` (a worker re-solving a profile a sibling already
+published) at ~0.
+
 ``--compare OLD.json`` prints a speedup table (wall time, peak RSS,
 factorisation counts) of this run against a previous document and, with
 ``--fail-over R``, exits non-zero if any shared experiment got more
@@ -137,6 +146,38 @@ MC_SEED = 11
 MC_REFERENCE_INSTANCES = 8
 MC_MIN_AMORTIZATION = 5.0
 
+#: Shared-matrix workload: SHARED_IDENTITIES distinct fault identities
+#: (per-seed fault models at SHARED_FAULT_RATE), each requested as a
+#: burst of SHARED_DUPLICATES concurrent duplicates — the
+#: duplicate-heavy stream the shared-memory data plane and
+#: process-plane solve coalescing exist for.  The baseline leg runs
+#: the identical bursts with both disabled: the ship-back process
+#: plane as it was before the shared segment existed.
+#: fig07b is the most solve-dominated quick experiment (its profile
+#: grid is ~96% of a cold run; a profile-warm duplicate is ~25x
+#: cheaper), so the mix isolates what the data plane actually
+#: eliminates — duplicate solve work — rather than per-request python.
+SHARED_EXPERIMENT = "fig07b"
+#: Each burst is one identity requested SHARED_DUPLICATES times at
+#: once, and bursts run back to back (the next starts when the last
+#: finishes).  That shape is deterministic for both legs: the
+#: baseline fans every burst across all idle workers, which each
+#: cold-solve the same grids in lockstep, while group dispatch stacks
+#: the burst behind one head solve.  A fully interleaved stream
+#: measures the same work but lets the baseline's completion order
+#: occasionally phase-lock identities onto warm workers, which makes
+#: its wall time bimodal — useless for a regression gate.
+SHARED_IDENTITIES = 3
+SHARED_DUPLICATES = 4
+SHARED_FAULT_RATE = 1e-3
+SHARED_MIN_SPEEDUP = 2.0
+SHARED_MIN_COALESCE = 2.0
+#: duplicate_solves counts a worker re-solving a profile a sibling
+#: already published to the segment — the waste the plane eliminates.
+#: A scheduling race can let a stray pair through; more means the
+#: plane is not being consulted.
+SHARED_MAX_DUPLICATE_SOLVES = 2
+
 #: v4: adds ``service_matrix`` (concurrent request throughput through
 #: the ``repro serve`` planes vs serialized one-shot runs).
 #: v5: adds ``recovery_matrix`` (steady vs during-kill throughput on
@@ -145,7 +186,10 @@ MC_MIN_AMORTIZATION = 5.0
 #: combine/query/cross-run-join latency at 1e5 rows, backend parity).
 #: v7: adds ``mc_matrix`` (K=64 Monte Carlo ensemble samples/s on the
 #: batched backend vs per-instance reference solves, >= 5x gate).
-SCHEMA = 7
+#: v8: adds ``shared_matrix`` (duplicate-heavy request mix on the
+#: process plane: shared-memory profile plane + solve coalescing vs
+#: the ship-back baseline, >= 2x gate, duplicate_solves ~0).
+SCHEMA = 8
 
 
 def _reset_shared_state() -> None:
@@ -765,6 +809,187 @@ def run_mc_matrix() -> dict:
     }
 
 
+def run_shared_matrix() -> dict:
+    """Shared-memory data plane throughput vs the ship-back process plane.
+
+    Both legs drive the identical duplicate-heavy mix — bursts of
+    concurrent duplicate requests, one fault identity per burst —
+    through the process compute plane.  The baseline leg disables the
+    shared segment *and* group dispatch (``shared_plane=False,
+    coalesce=False``): every duplicate in a burst lands on its own
+    worker, re-solves the identical profile grid in lockstep with its
+    siblings, and ships the profiles back through the result pipe,
+    exactly the pre-shared-plane backend.  The shared leg stacks each
+    burst onto one worker, where the head job solves and publishes the
+    grids once (process-local registry + lock-striped segment) and
+    every duplicate collapses to registry hits.
+    """
+    import asyncio
+
+    from repro.engine.service import EngineService, ServeOptions
+    from repro.engine.warm import clear_warm_contexts
+
+    name = SHARED_EXPERIMENT
+    # One burst per identity, every duplicate in a burst issued
+    # concurrently: 0,0,0,0 then 1,1,1,1 then 2,2,2,2.
+    waves = [
+        [seed] * SHARED_DUPLICATES for seed in range(SHARED_IDENTITIES)
+    ]
+    seeds = [seed for wave in waves for seed in wave]
+
+    def drive(options: "ServeOptions") -> tuple[list[float], float, dict]:
+        _reset_shared_state()
+        clear_warm_contexts()
+
+        async def go() -> tuple[list[float], float, dict]:
+            service = EngineService(options)
+            try:
+                latencies = [0.0] * len(seeds)
+
+                async def one(index: int, seed: int) -> None:
+                    start = time.perf_counter()
+                    doc = await service.submit(
+                        {
+                            "op": "run",
+                            "experiment": name,
+                            "seed": seed,
+                            "fault_rate": SHARED_FAULT_RATE,
+                        }
+                    )
+                    if not doc.get("ok"):
+                        raise RuntimeError(f"service request failed: {doc}")
+                    latencies[index] = time.perf_counter() - start
+
+                # Untimed warm-up, one request per worker on *distinct*
+                # fault identities (seeds far from the timed ones): pays
+                # worker spawn and first-solve process costs without
+                # pre-publishing any timed identity's profiles.  Both
+                # legs get the identical warm-up, so the timed round
+                # compares solve traffic, not pool boot.
+                warmups = await asyncio.gather(
+                    *(
+                        service.submit(
+                            {
+                                "op": "run",
+                                "experiment": name,
+                                "seed": 1000 + i,
+                                "fault_rate": SHARED_FAULT_RATE,
+                            }
+                        )
+                        for i in range(SERVICE_WORKERS)
+                    )
+                )
+                for warm in warmups:
+                    if not warm.get("ok"):
+                        raise RuntimeError(f"warm-up request failed: {warm}")
+                before = service.stats().get("counters", {})
+
+                start = time.perf_counter()
+                index = 0
+                for wave in waves:
+                    # Barrier between bursts: the next identity's burst
+                    # starts only when the last one drained, so every
+                    # burst meets an idle pool and dispatch is
+                    # deterministic in both legs.
+                    await asyncio.gather(
+                        *(
+                            one(index + offset, seed)
+                            for offset, seed in enumerate(wave)
+                        )
+                    )
+                    index += len(wave)
+                wall = time.perf_counter() - start
+                stats = service.stats()
+                # Counters are service-lifetime totals; report the timed
+                # round alone so warm-up solves don't dilute the ratios.
+                counters = stats.get("counters", {})
+                stats["counters"] = {
+                    key: value - before.get(key, 0)
+                    for key, value in counters.items()
+                }
+            finally:
+                await service.close(drain=True)
+            return latencies, wall, stats
+
+        return asyncio.run(go())
+
+    baseline_options = ServeOptions(
+        cache_dir=None,
+        compute_plane="process",
+        compute_workers=SERVICE_WORKERS,
+        solver=DEFAULT_MATRIX_SOLVER,
+        shared_plane=False,
+        coalesce=False,
+    )
+    latencies, wall, _ = drive(baseline_options)
+    baseline = _latency_stats(latencies, wall)
+
+    shared_options = ServeOptions(
+        cache_dir=None,
+        compute_plane="process",
+        compute_workers=SERVICE_WORKERS,
+        solver=DEFAULT_MATRIX_SOLVER,
+    )
+    latencies, wall, stats = drive(shared_options)
+    shared = _latency_stats(latencies, wall)
+    counters = stats.get("counters", {})
+    gauges = stats.get("gauges", {})
+
+    speedup = (
+        round(baseline["wall_s"] / shared["wall_s"], 3)
+        if shared["wall_s"]
+        else 0.0
+    )
+    duplicate_solves = counters.get("profile_cache.duplicate_solves", 0)
+    # Jobs per merged solve stream: a group dispatch stacks duplicate
+    # jobs onto one worker where the head job's solves serve the whole
+    # stack, so the average stack depth is how many jobs each solve
+    # stream was coalesced across (1.0 = nothing ever grouped).
+    grouped = counters.get("compute.grouped_jobs", 0)
+    dispatches = counters.get("compute.group_dispatches", 0)
+    coalesce_ratio = round(grouped / dispatches, 4) if dispatches else 1.0
+    print(
+        f"shared:    {len(seeds)} x {name} "
+        f"({SHARED_IDENTITIES} bursts x {SHARED_DUPLICATES} duplicates) "
+        f"ship-back {baseline['wall_s']:7.3f}s -> shared plane "
+        f"{shared['wall_s']:7.3f}s ({speedup:.2f}x, coalesce ratio "
+        f"{coalesce_ratio:.2f}, {duplicate_solves} duplicate solves)",
+        flush=True,
+    )
+    return {
+        "workload": (
+            f"{len(seeds)} '{name}' requests ({SHARED_IDENTITIES} "
+            f"back-to-back bursts of {SHARED_DUPLICATES} concurrent "
+            "duplicates, one fault identity per burst) on the process "
+            "plane: shared-memory profile plane + group dispatch vs "
+            "the ship-back baseline with both disabled"
+        ),
+        "experiment": name,
+        "requests": len(seeds),
+        "identities": SHARED_IDENTITIES,
+        "duplicates": SHARED_DUPLICATES,
+        "fault_rate": SHARED_FAULT_RATE,
+        "compute_workers": SERVICE_WORKERS,
+        "solver": DEFAULT_MATRIX_SOLVER,
+        "baseline": baseline,
+        "shared": shared,
+        "speedup_vs_baseline": speedup,
+        "coalesce_ratio": coalesce_ratio,
+        "duplicate_solves": duplicate_solves,
+        "counters": {
+            "shared_stores": counters.get("profile_cache.shared_stores", 0),
+            "shared_hits": counters.get("profile_cache.shared_hit", 0),
+            "group_dispatches": counters.get("compute.group_dispatches", 0),
+            "grouped_jobs": counters.get("compute.grouped_jobs", 0),
+            "shm_fallbacks": counters.get("profile_cache.shm_fallbacks", 0),
+        },
+        "segment": {
+            "bytes_used": int(gauges.get("shm.bytes_used", 0)),
+            "bytes_capacity": int(gauges.get("shm.bytes_capacity", 0)),
+        },
+    }
+
+
 def build_document(
     entries: list[dict],
     solver_entries: list[dict],
@@ -772,6 +997,7 @@ def build_document(
     recovery_matrix: dict,
     sweep_matrix: dict,
     mc_matrix: dict,
+    shared_matrix: dict,
     quick: bool,
 ) -> dict:
     return {
@@ -795,6 +1021,7 @@ def build_document(
         "recovery_matrix": recovery_matrix,
         "sweep_matrix": sweep_matrix,
         "mc_matrix": mc_matrix,
+        "shared_matrix": shared_matrix,
         "totals": {
             "experiments": len(entries),
             "wall_s": round(sum(e["wall_s"] for e in entries), 6),
@@ -814,7 +1041,7 @@ def validate(document: dict) -> None:
     expected = {
         "schema", "date", "host", "version", "quick", "entries",
         "solver_matrix", "service_matrix", "recovery_matrix",
-        "sweep_matrix", "mc_matrix", "totals",
+        "sweep_matrix", "mc_matrix", "shared_matrix", "totals",
     }
     check(set(document) == expected, f"top-level keys must be {sorted(expected)}")
     check(document["schema"] == SCHEMA, f"schema must be {SCHEMA}")
@@ -1142,6 +1369,100 @@ def validate(document: dict) -> None:
         f">= {MC_MIN_AMORTIZATION}x (ensemble batching must amortize "
         "factorisation work across instances)",
     )
+    shared = document["shared_matrix"]
+    shared_keys = {
+        "workload", "experiment", "requests", "identities", "duplicates",
+        "fault_rate", "compute_workers", "solver", "baseline", "shared",
+        "speedup_vs_baseline", "coalesce_ratio", "duplicate_solves",
+        "counters", "segment",
+    }
+    check(
+        isinstance(shared, dict) and set(shared) == shared_keys,
+        f"shared_matrix keys must be {sorted(shared_keys)}",
+    )
+    check(
+        isinstance(shared["requests"], int)
+        and shared["requests"]
+        == shared["identities"] * shared["duplicates"],
+        "shared_matrix.requests must be identities x duplicates",
+    )
+    check(
+        isinstance(shared["duplicates"], int) and shared["duplicates"] >= 2,
+        "shared_matrix needs duplicate requests (that is the workload "
+        "the shared plane deduplicates)",
+    )
+    check(
+        shared["solver"] in available_solvers(),
+        "shared_matrix.solver must be a registered backend",
+    )
+    for mode in ("baseline", "shared"):
+        mode_stats = shared[mode]
+        mode_keys = {"wall_s", "requests_per_s", "p50_s", "p99_s"}
+        check(
+            isinstance(mode_stats, dict) and set(mode_stats) == mode_keys,
+            f"shared_matrix.{mode} keys must be {sorted(mode_keys)}",
+        )
+        for field in mode_keys:
+            check(
+                isinstance(mode_stats[field], (int, float))
+                and mode_stats[field] >= 0,
+                f"shared_matrix.{mode}.{field} must be a non-negative number",
+            )
+        check(
+            mode_stats["p50_s"] <= mode_stats["p99_s"],
+            f"shared_matrix.{mode}: p50 must not exceed p99",
+        )
+    check(
+        isinstance(shared["speedup_vs_baseline"], (int, float))
+        and shared["speedup_vs_baseline"] >= SHARED_MIN_SPEEDUP,
+        "shared_matrix.speedup_vs_baseline must reach "
+        f">= {SHARED_MIN_SPEEDUP}x (the shared plane must amortize "
+        "duplicate solves across the worker fleet)",
+    )
+    check(
+        isinstance(shared["coalesce_ratio"], (int, float))
+        and shared["coalesce_ratio"] >= SHARED_MIN_COALESCE,
+        f"shared_matrix.coalesce_ratio must reach >= {SHARED_MIN_COALESCE} "
+        "(grouped duplicates must merge their solves)",
+    )
+    check(
+        isinstance(shared["duplicate_solves"], int)
+        and shared["duplicate_solves"] <= SHARED_MAX_DUPLICATE_SOLVES,
+        "shared_matrix.duplicate_solves must stay ~0 "
+        f"(<= {SHARED_MAX_DUPLICATE_SOLVES}); workers are re-solving "
+        "profiles the segment already holds",
+    )
+    shared_counters = shared["counters"]
+    check(
+        isinstance(shared_counters, dict)
+        and set(shared_counters)
+        == {"shared_stores", "shared_hits", "group_dispatches",
+            "grouped_jobs", "shm_fallbacks"},
+        "shared_matrix.counters must record the data-plane counter set",
+    )
+    check(
+        shared_counters["shared_stores"] >= 1,
+        "the shared leg must publish at least one profile to the segment",
+    )
+    check(
+        shared_counters["group_dispatches"] >= 1,
+        "the shared leg must stack at least one duplicate group",
+    )
+    segment = shared["segment"]
+    check(
+        isinstance(segment, dict)
+        and set(segment) == {"bytes_used", "bytes_capacity"},
+        "shared_matrix.segment keys must be [bytes_capacity, bytes_used]",
+    )
+    check(
+        isinstance(segment["bytes_used"], int) and segment["bytes_used"] > 0,
+        "a non-empty segment must report bytes_used > 0",
+    )
+    check(
+        isinstance(segment["bytes_capacity"], int)
+        and segment["bytes_used"] <= segment["bytes_capacity"],
+        "segment occupancy cannot exceed its capacity",
+    )
     totals = document["totals"]
     check(
         isinstance(totals, dict)
@@ -1215,6 +1536,24 @@ def compare(old: dict, new: dict, fail_over: float | None) -> int:
             f"{name:10s} {before['wall_s']:9.3f} {entry['wall_s']:9.3f} "
             f"{speedup:7.2f}x {rss:8.1f} {fact:>20s} {' '.join(tags)}".rstrip()
         )
+    old_shared = old.get("shared_matrix")
+    new_shared = new.get("shared_matrix")
+    if old_shared and new_shared:
+        old_rps = old_shared["shared"]["requests_per_s"]
+        new_rps = new_shared["shared"]["requests_per_s"]
+        print(
+            f"shared plane: {old_rps:.3f} -> {new_rps:.3f} requests/s "
+            f"(speedup vs ship-back "
+            f"{new_shared['speedup_vs_baseline']:.2f}x)"
+        )
+        if (
+            fail_over is not None
+            and new_rps > 0
+            and old_rps > fail_over * new_rps
+        ):
+            regressions.append(
+                ("shared_matrix", new_rps / old_rps if old_rps else 0.0)
+            )
     if regressions:
         names = ", ".join(
             f"{name} ({speedup:.2f}x)" for name, speedup in regressions
@@ -1288,9 +1627,10 @@ def main(argv: list[str] | None = None) -> int:
     recovery_matrix = run_recovery_matrix()
     sweep_matrix = run_sweep_matrix()
     mc_matrix = run_mc_matrix()
+    shared_matrix = run_shared_matrix()
     document = build_document(
         entries, solver_entries, service_matrix, recovery_matrix,
-        sweep_matrix, mc_matrix, quick=args.quick,
+        sweep_matrix, mc_matrix, shared_matrix, quick=args.quick,
     )
     validate(document)  # never emit a document the validator rejects
     out = pathlib.Path(

@@ -31,6 +31,7 @@ SITE_RATES = {
     "future.delay": "delay_future_rate",
     "coalesce.stall": "stall_dispatch_rate",
     "cache.corrupt": "corrupt_cache_rate",
+    "shm.kill_in_lock": "kill_in_lock_rate",
 }
 
 
@@ -61,6 +62,12 @@ class ChaosPolicy:
         Probability that a ``.repro_cache`` entry is bit-flipped on the
         read path *before* the envelope check runs — exercising the
         quarantine-and-recompute machinery under live traffic.
+    kill_in_lock_rate:
+        Probability that a worker publishing a profile block to the
+        shared-memory data plane ``os._exit``\\ s *while holding the
+        stripe write lock* — the nastiest crash the plane must survive
+        (that stripe's lock is never released; writers degrade to the
+        ship-back path, readers are unaffected).
     """
 
     seed: int = 0
@@ -72,6 +79,7 @@ class ChaosPolicy:
     stall_dispatch_rate: float = 0.0
     stall_dispatch_ms: float = 25.0
     corrupt_cache_rate: float = 0.0
+    kill_in_lock_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for site, field in SITE_RATES.items():

@@ -148,6 +148,20 @@ def uninstall_coalescer(coalescer) -> None:
             _COALESCER = None
 
 
+def discard_coalescer_after_fork() -> None:
+    """Forget an inherited coalescer without closing it (workers only).
+
+    A forked pool worker inherits the parent's ``_COALESCER`` global,
+    but *not* its dispatcher thread — the copy is an inert shell whose
+    lock state is whatever the parent held at fork time.  Workers call
+    this before installing their own coalescer; closing the inherited
+    one instead could deadlock on a lock the (nonexistent) dispatcher
+    thread will never release.
+    """
+    global _COALESCER
+    _COALESCER = None
+
+
 def dispatch_solve_many(
     solver: "str | SolverBackend | None",
     networks,

@@ -41,6 +41,22 @@ service-wide counters survive request interleaving.  Pool workers ship
 picklable snapshots (and solved profile artefacts) back with each
 result, exactly like :class:`~repro.engine.executor.ParallelExecutor`
 workers do.
+
+The process pool additionally runs a **shared-memory solver data
+plane** (:mod:`repro.engine.shm`): the supervisor creates one
+lock-striped segment, hands every worker a reattachable handle at
+spawn, and wires the segment into the process-global profile registry
+on both sides — so a BL profile or WL calibration solved by any worker
+is zero-copy readable by all siblings instead of being re-solved or
+pickled back through the result pipes.  The PR-9 ship-back path stays
+as the strict fallback whenever shared memory is unavailable or a
+stripe declines a write.  On top of it, the supervisor's dispatcher
+extends solve coalescing to the process plane: queued jobs with equal
+(config, solver, fault-set) identity are *grouped* onto one worker,
+where the head job solves the group's profile grids once and its
+group-mates collapse to registry hits — one solve stream serving the
+whole stack, with a worker-lifetime :class:`SolveCoalescer` funnelling
+the solves through a single dispatcher thread.
 """
 
 from __future__ import annotations
@@ -306,7 +322,11 @@ def _execute_spec(spec: _JobSpec) -> tuple:
     with obs.collecting(local):
         with obs.span("compute.plan", name=plan.name):
             result = execute_plan(plan, context)
-    return result, local.snapshot(), _drain_profile_exports()
+        # Drain *inside* the collecting scope: the registry counts
+        # ship-back dedupe (and the bytes it saves) on drain, and those
+        # counters must land in this job's snapshot to ever be seen.
+        profiles = _drain_profile_exports()
+    return result, local.snapshot(), profiles
 
 
 def _pool_worker_main(
@@ -315,6 +335,9 @@ def _pool_worker_main(
     result_conn,
     heartbeat_s: float,
     chaos_policy,
+    shm_handle=None,
+    coalesce: bool = True,
+    coalesce_window_s: float = 0.002,
 ) -> None:
     """Worker process loop: execute job specs until the ``None`` sentinel.
 
@@ -333,6 +356,26 @@ def _pool_worker_main(
     which the supervisor reads as EOF: exactly a worker death, fully
     contained.  ``send_lock`` is a plain in-process lock (main thread
     vs heartbeat thread) and dies with the process, harming nobody.
+
+    ``shm_handle``, when given, is the shared profile plane's spawn
+    handshake: the worker attaches (or, after a restart, *re*attaches —
+    the handle is the same) and wires the segment into its profile
+    registry, so artefacts flow to siblings zero-copy.  Attach failure
+    degrades silently to the ship-back path.  Task messages are lists
+    of ``(job_id, spec)`` pairs stacked by group identity.  A group
+    runs *sequentially*, in dispatch order: the head job solves the
+    group's profile grids once and publishes them (process-local
+    registry + shared plane), and every group-mate's solves collapse to
+    registry hits.  Running group-mates concurrently instead would be
+    strictly worse — the coalescer *concatenates* same-signature
+    submissions into one lockstep backend call (it amortises
+    factorisations across distinct networks, it does not dedupe
+    identical ones), so duplicate streams in lockstep re-solve every
+    quantum N times and break the warm-start continuation chain.  The
+    worker-lifetime :class:`SolveCoalescer` (installed when
+    ``coalesce``) still funnels every solve through one dispatcher
+    thread — backend structure/warm caches stay single-threaded — and
+    merges whatever concurrency a single job produces internally.
     """
     if chaos_policy is not None:
         chaos.install(chaos_policy)
@@ -357,15 +400,62 @@ def _pool_worker_main(
     threading.Thread(
         target=beat, daemon=True, name=f"repro-pool-beat-{worker_id}"
     ).start()
-    post(("ready", worker_id, None))
-    while True:
-        message = task_queue.get()
-        if message is None:
-            break
-        job_id, spec = message
+
+    from ..xpoint.vmap import profile_registry
+
+    if shm_handle is not None:
+        from .shm import SharedProfilePlane
+
+        # Forget any attachment forked in from the supervisor before
+        # attaching by name: the handle-based path is what a restarted
+        # worker (or a spawn-method child) exercises, so every worker
+        # takes it.
+        profile_registry.detach_shared()
+        try:
+            plane = SharedProfilePlane.attach(shm_handle)
+        except Exception:  # noqa: BLE001 - plane optional by contract
+            plane = None
+        if plane is not None:
+            profile_registry.attach_shared(plane)
+
+    coalescer = None
+    coalesce_last: dict = {}
+    coalesce_lock = threading.Lock()
+    if coalesce:
+        from ..circuit.solvers import (
+            discard_coalescer_after_fork,
+            install_coalescer,
+        )
+        from ..circuit.solvers.coalesce import SolveCoalescer
+
+        discard_coalescer_after_fork()
+        coalescer = SolveCoalescer(window_s=coalesce_window_s)
+        install_coalescer(coalescer)
+
+    def coalesce_delta() -> dict:
+        """Coalescer counters accrued since the last shipped delta.
+
+        The coalescer keeps its own collector (solves run on its
+        dispatcher thread, outside any job's thread-local scope), so
+        workers ship counter *deltas* folded into job snapshots — the
+        supervisor's merge then adds up to exact process-plane totals.
+        """
+        if coalescer is None:
+            return {}
+        with coalesce_lock:
+            counters = coalescer.stats().counters
+            delta = {
+                name: total - coalesce_last.get(name, 0)
+                for name, total in counters.items()
+                if total != coalesce_last.get(name, 0)
+            }
+            coalesce_last.update(counters)
+        return delta
+
+    def run_one(job_id: int, spec: _JobSpec) -> None:
         kill_timer = chaos.kill_point(spec.chaos_token)
         try:
-            payload = _execute_spec(spec)
+            result, snapshot, profiles = _execute_spec(spec)
         except BaseException as exc:  # noqa: BLE001 - shipped to supervisor
             tb = "".join(
                 traceback_module.format_exception(
@@ -376,18 +466,33 @@ def _pool_worker_main(
                 ("error", worker_id, (job_id, type(exc).__name__, str(exc), tb))
             )
         else:
-            post(("done", worker_id, (job_id, payload)))
+            delta = coalesce_delta()
+            if delta and snapshot is not None:
+                for name, n in delta.items():
+                    snapshot.counters[name] = (
+                        snapshot.counters.get(name, 0) + n
+                    )
+            post(("done", worker_id, (job_id, (result, snapshot, profiles))))
         finally:
             # Disarm a kill aimed at this job once it is over: a stale
             # timer firing during the *next* job would charge an
             # innocent plan's resubmission budget.
             if kill_timer is not None:
                 kill_timer.cancel()
+
+    post(("ready", worker_id, None))
+    while True:
+        message = task_queue.get()
+        if message is None:
+            break
+        for job_id, spec in message:
+            run_one(job_id, spec)
     post(("bye", worker_id, None))
 
 
 class _Job:
-    __slots__ = ("id", "spec", "future", "attempts", "dispatched")
+    __slots__ = ("id", "spec", "future", "attempts", "dispatched",
+                 "group", "wid")
 
     def __init__(self, job_id: int, spec: _JobSpec) -> None:
         self.id = job_id
@@ -395,20 +500,36 @@ class _Job:
         self.future: Future = Future()
         self.attempts = 0  # resubmissions consumed by worker deaths
         self.dispatched = False
+        #: Group-dispatch identity (config/solver/fault-set); jobs with
+        #: equal groups may be stacked onto one worker to coalesce.
+        self.group: "tuple | None" = None
+        #: Worker epoch this job is currently dispatched to, or None
+        #: while queued.  Results are only merged when the reporting
+        #: worker matches — a requeued job's late duplicate from a
+        #: half-dead worker must not double-count observations.
+        self.wid: "int | None" = None
 
 
 class _PoolWorker:
-    __slots__ = ("wid", "process", "task_queue", "conn", "job_id",
-                 "started_at", "last_beat")
+    __slots__ = ("wid", "process", "task_queue", "conn", "job_ids",
+                 "started_at", "last_beat", "group", "grouped")
 
     def __init__(self, wid: int, process, task_queue, conn) -> None:
         self.wid = wid
         self.process = process
         self.task_queue = task_queue
         self.conn = conn  # supervisor's end of the worker's result pipe
-        self.job_id: "int | None" = None
+        self.job_ids: set[int] = set()  # in-flight jobs (grouped batches)
         self.started_at = 0.0
         self.last_beat = time.monotonic()
+        #: Group identity of the last batch dispatched here.  While jobs
+        #: are in flight it routes affinity appends; once idle it marks
+        #: which identity's profiles sit warm in this worker's registry.
+        self.group: "tuple | None" = None
+        #: Whether the current solve stream was already counted as a
+        #: group dispatch (keeps the stack-depth counters exact when
+        #: affinity appends trickle in one job at a time).
+        self.grouped = False
 
 
 class ProcessPoolBackend(ComputeBackend):
@@ -441,6 +562,24 @@ class ProcessPoolBackend(ComputeBackend):
     A ``chaos`` policy, when given, is shipped to every worker (arming
     the ``worker.kill`` site inside the job execution path) and armed
     in the supervisor for the ``future.drop`` / ``future.delay`` sites.
+
+    ``shared_plane`` (default on) creates one shared-memory profile
+    segment (:class:`~repro.engine.shm.SharedProfilePlane`) that the
+    supervisor and every worker attach to the process-global profile
+    registry: profiles solved anywhere become zero-copy readable
+    everywhere, and the pipe ship-back path degrades into a fallback
+    for whatever the segment declines.  Creation failure (no
+    ``/dev/shm``, permissions) silently keeps the PR-9 ship-back
+    behaviour.  ``coalesce`` arms a worker-lifetime
+    :class:`SolveCoalescer` in each worker, and the dispatcher stacks
+    up to ``group_limit`` queued jobs of equal (config, solver,
+    fault-set) identity onto one worker — unconditionally, because a
+    group-mate stacked behind its head job costs a registry lookup
+    while the same job raced on a spare worker re-solves the whole
+    profile grid.  The stacked jobs run in order: the head job solves
+    and publishes the group's profiles, the rest collapse to registry
+    hits (see :func:`_pool_worker_main` for why sequential beats
+    concurrent here).
     """
 
     #: Supervisor wake-up interval: bounds dispatch latency and the
@@ -457,6 +596,10 @@ class ProcessPoolBackend(ComputeBackend):
         job_deadline_s: "float | None" = None,
         restart_policy: "RetryPolicy | None" = None,
         chaos_policy: "chaos.ChaosPolicy | None" = None,
+        shared_plane: bool = True,
+        coalesce: bool = True,
+        coalesce_window_s: float = 0.002,
+        group_limit: int = 4,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -502,6 +645,33 @@ class ProcessPoolBackend(ComputeBackend):
         self._closed = False
         self._collector = obs.Collector()
         self._collector_lock = threading.Lock()
+        self.coalesce = coalesce
+        self.coalesce_window_s = coalesce_window_s
+        self.group_limit = max(1, group_limit)
+        self._shm = None
+        if shared_plane:
+            from .shm import (
+                SharedPlaneUnavailable,
+                SharedProfilePlane,
+                reap_stale_segments,
+            )
+
+            # Sweep segments leaked by crashed earlier processes before
+            # claiming new shm space, then create this pool's segment —
+            # *before* any worker spawns, so every worker's handle is
+            # valid from its first job.
+            reap_stale_segments()
+            try:
+                self._shm = SharedProfilePlane.create()
+            except SharedPlaneUnavailable:
+                self._note("compute.shared_plane_unavailable")
+            if self._shm is not None:
+                from ..xpoint.vmap import profile_registry
+
+                # Supervisor side: absorbed ship-backs re-publish into
+                # the segment, and local lookups see worker-solved
+                # profiles without any pipe traffic.
+                profile_registry.attach_shared(self._shm)
         with self._lock:
             for _ in range(workers):
                 self._spawn_worker()
@@ -537,6 +707,16 @@ class ProcessPoolBackend(ComputeBackend):
                     "process pool is broken (restart budget exhausted)"
                 )
             job = _Job(next(self._next_job), _spec_for(plan, context))
+            # Seed is deliberately *not* part of the group key: distinct
+            # seeds of one configuration share every sparsity pattern,
+            # which is exactly what the worker-side coalescer merges.
+            job.group = (
+                plan.cfg_hash,
+                plan.solver,
+                plan.fault_set,
+                job.spec.cache_dir,
+                job.spec.strict,
+            )
             self._jobs[job.id] = job
             self._queue.append(job)
             self._note("compute.jobs")
@@ -552,12 +732,18 @@ class ProcessPoolBackend(ComputeBackend):
 
     def stats(self) -> "Snapshot":
         alive = self.alive_workers()  # before _collector_lock: lock order
+        shm_stats = self._shm.stats() if self._shm is not None else None
         with self._collector_lock:
             self._collector.gauge("compute.workers_alive", alive)
             self._collector.gauge(
                 "compute.restart_budget_left",
                 self.restart_budget - self._restarts_used,
             )
+            if shm_stats is not None:
+                # Gauges, not counts: segment stats are cumulative
+                # totals, and stats() may be polled repeatedly.
+                for name, value in shm_stats.items():
+                    self._collector.gauge(f"shm.{name}", value)
             return self._collector.snapshot()
 
     # -- supervisor ----------------------------------------------------------------
@@ -574,6 +760,13 @@ class ProcessPoolBackend(ComputeBackend):
                 send_conn,
                 self.heartbeat_s,
                 self._chaos,
+                # Restarted workers receive the *same* handle, so a
+                # replacement reattaches to the segment by name and
+                # immediately sees every profile its predecessors
+                # published.
+                self._shm.handle() if self._shm is not None else None,
+                self.coalesce,
+                self.coalesce_window_s,
             ),
             name=f"repro-pool-{wid}",
             daemon=True,
@@ -634,11 +827,19 @@ class ProcessPoolBackend(ComputeBackend):
             if kind in ("beat", "ready", "bye"):
                 return
             job_id = body[0]
-            job = self._jobs.pop(job_id, None)
-            if worker is not None and worker.job_id == job_id:
-                worker.job_id = None
+            job = self._jobs.get(job_id)
+            if worker is not None:
+                worker.job_ids.discard(job_id)
             if job is None or job.future.done():
                 return
+            if job.wid != wid:
+                # The job was requeued away from this worker (it looked
+                # dead mid-plan) and a late duplicate result arrived
+                # from the original epoch.  Merging it would double-count
+                # every observation the retry also ships; drop it.
+                self._note("compute.stale_results")
+                return
+            del self._jobs[job_id]
         if kind == "done":
             result, snapshot, profiles = body[1]
             if profiles:
@@ -686,7 +887,7 @@ class ProcessPoolBackend(ComputeBackend):
                 dead = True
             if not dead:
                 wedged = (
-                    worker.job_id is not None
+                    bool(worker.job_ids)
                     and self.job_deadline_s is not None
                     and now - worker.started_at > self.job_deadline_s
                 )
@@ -736,35 +937,44 @@ class ProcessPoolBackend(ComputeBackend):
             self._mark_broken()
 
     def _requeue_or_fail(self, worker: _PoolWorker) -> None:
-        if worker.job_id is None:
-            return
-        job = self._jobs.get(worker.job_id)
-        worker.job_id = None
-        if job is None or job.future.done():
-            return
-        job.attempts += 1
-        if job.future.cancelled():
+        """Requeue every plan the dead worker held (a grouped batch may
+        hold several); each charges its own resubmission budget."""
+        in_flight = sorted(worker.job_ids)
+        worker.job_ids.clear()
+        for job_id in in_flight:
+            job = self._jobs.get(job_id)
+            if job is None or job.future.done():
+                continue
+            job.wid = None
+            # Retry isolation: a batch dies as a unit, so any of its
+            # jobs may be the poison one.  Requeued jobs run alone —
+            # a repeatedly-crashing plan then only ever charges its own
+            # resubmission budget, never its group-mates'.
+            job.group = None
+            job.attempts += 1
+            if job.future.cancelled():
+                del self._jobs[job.id]
+                continue
+            if job.attempts <= self.resubmit_limit:
+                # Idempotent resubmission: the spec re-keys the same
+                # cache entry and deterministic drivers; only the chaos
+                # token advances so an injected kill draws a fresh
+                # decision.
+                job.spec = replace(
+                    job.spec,
+                    chaos_token=(job.spec.name, job.spec.seed, job.attempts),
+                )
+                self._queue.appendleft(job)
+                self._note("compute.requeues")
+                continue
             del self._jobs[job.id]
-            return
-        if job.attempts <= self.resubmit_limit:
-            # Idempotent resubmission: the spec re-keys the same cache
-            # entry and deterministic drivers; only the chaos token
-            # advances so an injected kill draws a fresh decision.
-            job.spec = replace(
-                job.spec,
-                chaos_token=(job.spec.name, job.spec.seed, job.attempts),
+            self._note("compute.job_losses")
+            job.future.set_exception(
+                PoolBrokenError(
+                    f"plan {job.spec.name!r} lost to {job.attempts} worker "
+                    "death(s); resubmission budget exhausted"
+                )
             )
-            self._queue.appendleft(job)
-            self._note("compute.requeues")
-            return
-        del self._jobs[job.id]
-        self._note("compute.job_losses")
-        job.future.set_exception(
-            PoolBrokenError(
-                f"plan {job.spec.name!r} lost to {job.attempts} worker "
-                "death(s); resubmission budget exhausted"
-            )
-        )
 
     def _mark_broken(self) -> None:
         if self._broken:
@@ -785,26 +995,132 @@ class ProcessPoolBackend(ComputeBackend):
                     )
                 )
 
-    def _dispatch(self) -> None:
-        if not self._queue:
-            return
+    def _claim(self, job: _Job) -> bool:
+        """Transition a queued job to running; False if it cancelled."""
+        if job.future.cancelled():
+            self._jobs.pop(job.id, None)
+            return False
+        if not job.dispatched:
+            if not job.future.set_running_or_notify_cancel():
+                self._jobs.pop(job.id, None)
+                return False
+            job.dispatched = True
+        return True
+
+    def _dispatch_affinity(self) -> None:
+        """Append queued jobs to busy workers already running their group.
+
+        A queued job whose identity is in flight somewhere is nearly
+        free *on that worker* — the head job publishes the group's
+        profiles, so a follower's solves collapse to registry hits —
+        but expensive anywhere else: dispatched to an idle worker it
+        races the in-flight solve stream in lockstep, re-solving every
+        profile the stream has not published yet (all of them, on a
+        busy machine) and burying the segment in duplicate puts.  So
+        group followers chase their head job's worker even when idle
+        workers are available.
+        """
         for worker in self._pool.values():
             if not self._queue:
                 return
-            if worker.job_id is not None or not worker.process.is_alive():
+            if (
+                not worker.job_ids
+                or worker.group is None
+                or not worker.process.is_alive()
+            ):
                 continue
-            job = self._queue.popleft()
-            if job.future.cancelled():
-                self._jobs.pop(job.id, None)
-                continue
-            if not job.dispatched:
-                if not job.future.set_running_or_notify_cancel():
-                    self._jobs.pop(job.id, None)
+            room = self.group_limit - len(worker.job_ids)
+            batch: list[_Job] = []
+            scan = 0
+            while room > 0 and scan < len(self._queue):
+                candidate = self._queue[scan]
+                if candidate.group != worker.group:
+                    scan += 1
                     continue
-                job.dispatched = True
-            worker.job_id = job.id
+                del self._queue[scan]
+                if not self._claim(candidate):
+                    continue
+                batch.append(candidate)
+                room -= 1
+            if not batch:
+                continue
             worker.started_at = time.monotonic()
-            worker.task_queue.put((job.id, job.spec))
+            for job in batch:
+                job.wid = worker.wid
+                worker.job_ids.add(job.id)
+            self._note("compute.affinity_dispatches")
+            self._note("compute.grouped_jobs", len(batch))
+            if not worker.grouped:
+                # First append to this stream: the stream itself turns
+                # into a group dispatch (head + followers).
+                self._note("compute.group_dispatches")
+                worker.grouped = True
+            worker.task_queue.put([(job.id, job.spec) for job in batch])
+
+    def _dispatch(self) -> None:
+        if not self._queue:
+            return
+        if self.coalesce:
+            self._dispatch_affinity()
+        idle = [
+            w
+            for w in self._pool.values()
+            if not w.job_ids and w.process.is_alive()
+        ]
+        while idle:
+            batch: list[_Job] = []
+            while self._queue and not batch:
+                job = self._queue.popleft()
+                if self._claim(job):
+                    batch.append(job)
+            if not batch:
+                return
+            # Stack same-group queue-mates onto this worker,
+            # unconditionally up to group_limit.  A stacked group-mate
+            # rides the head job's published profiles for near-free;
+            # dispatched anywhere else it re-solves the whole grid in
+            # lockstep with the head, so even with idle workers to
+            # spare, duplicates belong behind their head job.
+            if self.coalesce and batch[0].group is not None:
+                group = batch[0].group
+                scan = 0
+                while (
+                    len(batch) < self.group_limit
+                    and scan < len(self._queue)
+                ):
+                    candidate = self._queue[scan]
+                    if candidate.group != group:
+                        scan += 1
+                        continue
+                    del self._queue[scan]
+                    if not self._claim(candidate):
+                        continue
+                    batch.append(candidate)
+            # Warm placement: of the idle workers, prefer the one that
+            # last ran this identity — its process-local registry
+            # already holds the group's profiles.
+            worker = next(
+                (
+                    w
+                    for w in idle
+                    if batch[0].group is not None
+                    and w.group == batch[0].group
+                ),
+                idle[0],
+            )
+            idle.remove(worker)
+            worker.started_at = time.monotonic()
+            worker.group = batch[0].group
+            worker.grouped = len(batch) > 1
+            for job in batch:
+                job.wid = worker.wid
+                worker.job_ids.add(job.id)
+            if len(batch) > 1:
+                self._note("compute.group_dispatches")
+                self._note("compute.grouped_jobs", len(batch))
+            worker.task_queue.put([(job.id, job.spec) for job in batch])
+            if not self._queue:
+                return
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -847,3 +1163,11 @@ class ProcessPoolBackend(ComputeBackend):
             self._supervisor.join(timeout=120.0)
         else:
             self._supervisor.join(timeout=self._TICK_S)
+        if self._shm is not None:
+            from ..xpoint.vmap import profile_registry
+
+            # Owner-checked detach: if a breaker trip already installed
+            # a successor backend's plane, leave it alone.
+            profile_registry.detach_shared(self._shm)
+            self._shm.close()  # owner close unlinks the segment
+            self._shm = None

@@ -62,6 +62,13 @@ class RunContext:
     disk-cache experiment key, so results computed under different
     backends never alias.  ``None`` means the seed-exact ``reference``
     backend.
+
+    Solved profile artefacts are not held here: models consult the
+    process-global :data:`~repro.xpoint.vmap.profile_registry` (which
+    may be backed by a cross-process shared-memory segment, see
+    :mod:`repro.engine.shm`) before the context's disk-backed profile
+    store, so contexts are cheap to evict and rebuild without losing
+    solve work.
     """
 
     def __init__(

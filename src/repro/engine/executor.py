@@ -189,16 +189,21 @@ def _timed_call(
         local = obs.Collector()
         with obs.collecting(local):
             value = fn(item)
+            # Drain *inside* the collecting scope: the registry counts
+            # ship-back dedupe (and bytes saved) on drain, and those
+            # counters must land in this task's snapshot to be seen.
+            profiles = _drain_profile_exports() if ship else None
         snapshot = local.snapshot()
     else:
         value = fn(item)
         snapshot = None
+        profiles = _drain_profile_exports() if ship else None
     return TaskResult(
         index=index,
         value=value,
         wall_s=time.perf_counter() - start,
         obs=snapshot,
-        profiles=_drain_profile_exports() if ship else None,
+        profiles=profiles,
     )
 
 

@@ -4,10 +4,13 @@
 asyncio front end accepts newline-delimited JSON requests over TCP,
 applies admission control and per-request deadlines, and hands
 resolved :class:`~repro.engine.plan.ExperimentPlan` objects to the
-compute plane (:class:`~repro.engine.compute.ThreadPoolBackend`), where
-warm shared :class:`~repro.engine.context.RunContext` instances and the
-cross-request solve coalescer amortise model construction and Newton
-factorisations across the whole request stream.
+compute plane (:class:`~repro.engine.compute.ThreadPoolBackend` or a
+supervised :class:`~repro.engine.compute.ProcessPoolBackend`), where
+warm shared :class:`~repro.engine.context.RunContext` instances, the
+cross-request solve coalescer, and — on the process plane — the
+shared-memory profile segment with duplicate-identity group dispatch
+amortise model construction and Newton factorisations across the
+whole request stream.
 
 Wire protocol — one JSON object per line, one response line per
 request (responses may interleave across concurrent requests on a
@@ -103,6 +106,9 @@ class ServeOptions:
     compute_plane: str = "thread"
     #: Restart budget handed to the process rung (``None`` = its default).
     restart_budget: int | None = None
+    #: Shared-memory profile plane on the process rung (zero-copy
+    #: cross-worker profile sharing; off falls back to pipe ship-back).
+    shared_plane: bool = True
     #: Per-plan wall deadline on the process rung (wedged-worker reap).
     job_deadline_s: float | None = None
     #: Circuit breaker: this many infrastructure failures within
@@ -184,6 +190,9 @@ class EngineService:
                 restart_budget=options.restart_budget,
                 job_deadline_s=options.job_deadline_s,
                 chaos_policy=options.chaos,
+                shared_plane=options.shared_plane,
+                coalesce=options.coalesce,
+                coalesce_window_s=options.coalesce_window_s,
             )
         if kind == "thread":
             return ThreadPoolBackend(
@@ -257,6 +266,15 @@ class EngineService:
                 self._spill.flush()
             except Exception:  # noqa: BLE001 - drain must not fail on spill
                 self._note("sweep.append_errors")
+        # Segment janitor: the backend unlinked its own segment above;
+        # this sweeps segments leaked by *earlier* crashed services,
+        # under the same grace window the sweep-spill janitor uses.
+        from .shm import reap_stale_segments
+
+        try:
+            reap_stale_segments()
+        except OSError:
+            pass
         if self.options.chaos is not None:
             chaos.uninstall()  # don't leak the policy past this service
 
@@ -791,6 +809,11 @@ def serve_main(argv: "list[str] | None" = None) -> int:
         help="process-plane worker restarts before the pool is broken",
     )
     parser.add_argument(
+        "--no-shared-plane", action="store_true",
+        help="disable the process-plane shared-memory profile segment "
+        "(workers fall back to pipe ship-back of solved profiles)",
+    )
+    parser.add_argument(
         "--breaker-threshold", type=int, default=3, metavar="N",
         help="infrastructure failures in the window that trip the breaker",
     )
@@ -834,6 +857,7 @@ def serve_main(argv: "list[str] | None" = None) -> int:
         solver=args.solver,
         compute_plane=args.compute_plane,
         restart_budget=args.restart_budget,
+        shared_plane=not args.no_shared_plane,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
         chaos=chaos_policy,

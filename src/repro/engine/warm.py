@@ -19,6 +19,13 @@ want a profile activate one around the execution instead
 
 The registry is bounded and thread-safe; :func:`clear_warm_contexts`
 drops it (tests and benchmarks use this to get cold timings).
+
+Solved profile artefacts are deliberately *not* context state: they
+live in the process-global :data:`~repro.xpoint.vmap.profile_registry`
+(and, under the process compute plane, its attached shared-memory
+segment, :mod:`repro.engine.shm`).  Evicting or clearing a warm context
+therefore never discards solve work, and a pool worker's contexts all
+read the same zero-copy plane.
 """
 
 from __future__ import annotations

@@ -176,9 +176,14 @@ def run_ensemble(
     with obs.span("mc.ensemble", array=a, samples=samples):
         droops = master.ensemble_droops(samples)
         v_inst = v_applied * (1.0 - droops)
-        before = len(_registry())
+        # Count quanta that genuinely hit the solver: the registry's
+        # ``stores`` counter tracks locally computed artefacts only, so
+        # promotions out of the shared-memory plane or the disk store
+        # (which a registry-size delta would miscount as solves) stay
+        # out of the number.
+        before = _registry().stores
         profiles = model.ensemble_bl_profiles(v_inst, bias, chunk=chunk)
-        quanta_solved = max(0, len(_registry()) - before)
+        quanta_solved = max(0, _registry().stores - before)
         wl_drop = np.asarray(model.wl_model.drop(np.arange(a), 1, bias))
 
         instances = []

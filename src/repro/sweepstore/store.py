@@ -276,11 +276,15 @@ class SweepStore:
         return table
 
     def _stale(self, path: Path) -> bool:
-        """Old enough that an incomplete artefact means a crashed writer."""
-        try:
-            return time.time() - path.stat().st_mtime >= self.grace_s
-        except OSError:
-            return False
+        """Old enough that an incomplete artefact means a crashed writer.
+
+        Shares the grace-window rule with the engine's shared-memory
+        segment janitor (:mod:`repro.cleanup`), so "crashed writer"
+        means one thing across every spill/segment cleanup path.
+        """
+        from ..cleanup import is_stale
+
+        return is_stale(path, grace_s=self.grace_s)
 
     # -- the canonical table -----------------------------------------------------
 

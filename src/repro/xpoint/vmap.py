@@ -64,12 +64,63 @@ class ProfileRegistry:
     parent executor can ship worker-solved profiles back and absorb them
     (see :mod:`repro.engine.executor`), closing the loop that otherwise
     makes every worker re-solve the same profiles.
+
+    When a :class:`~repro.engine.shm.SharedProfilePlane` is attached
+    (:meth:`attach_shared`), locally solved entries publish straight
+    into the shared segment instead of queuing for ship-back — siblings
+    read them zero-copy — and the export buffer only fills when the
+    plane declines a write (lock timeout, stripe full), preserving the
+    ship-back path as the strict fallback.
     """
 
     def __init__(self, maxsize: int = 512, max_exports: int = 256) -> None:
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple, Any] = OrderedDict()
         self._exports: deque[tuple[tuple, Any]] = deque(maxlen=max_exports)
+        self._shared = None  # SharedProfilePlane | None
+        self._digests: dict[tuple, str] = {}  # parts -> shared-plane key
+        #: Monotonic count of locally *computed* artefacts registered
+        #: here (``export=True`` inserts).  Promotions — disk hits,
+        #: shared-plane hits, absorbed ship-backs — don't count, so a
+        #: before/after delta measures real solver work, which is what
+        #: :func:`repro.mc.ensemble.run_ensemble` reports as
+        #: ``quanta_solved``.
+        self.stores = 0
+
+    # -- shared-plane attachment -------------------------------------------------
+
+    def attach_shared(self, plane: Any) -> None:
+        """Route puts/gets through ``plane`` (a ``SharedProfilePlane``)."""
+        self._shared = plane
+        self._digests.clear()
+
+    def detach_shared(self, plane: Any = None) -> None:
+        """Drop the shared plane (only if it is ``plane``, when given).
+
+        The owner-check mirrors ``uninstall_coalescer``: a backend
+        closing late must not detach a plane a newer backend attached.
+        """
+        if plane is None or self._shared is plane:
+            self._shared = None
+            self._digests.clear()
+
+    @property
+    def shared_plane(self) -> Any:
+        return self._shared
+
+    def _digest(self, parts: tuple) -> str:
+        """The shared-plane key for ``parts`` (the ProfileStore digest)."""
+        key = self._digests.get(parts)
+        if key is None:
+            from ..engine.cache import cache_key
+
+            if len(self._digests) >= 4096:
+                self._digests.clear()
+            key = cache_key("profile", *parts)
+            self._digests[parts] = key
+        return key
+
+    # -- local entries -----------------------------------------------------------
 
     def get(self, parts: tuple) -> Any:
         value = self._entries.get(parts)
@@ -77,7 +128,27 @@ class ProfileRegistry:
             self._entries.move_to_end(parts)
         return value
 
-    def put(self, parts: tuple, value: Any, export: bool = True) -> None:
+    def shared_get(self, parts: tuple) -> Any:
+        """Probe the shared plane and promote a hit into local entries."""
+        shared = self._shared
+        if shared is None:
+            return None
+        value = shared.get(self._digest(parts))
+        if value is None:
+            return None
+        obs.count("profile_cache.shared_hit")
+        # Promote without re-publishing: the block already lives in the
+        # segment, and republishing would misread as a duplicate solve.
+        self.put(parts, value, export=False, publish=False)
+        return value
+
+    def put(
+        self,
+        parts: tuple,
+        value: Any,
+        export: bool = True,
+        publish: bool = True,
+    ) -> None:
         if parts in self._entries:
             self._entries.move_to_end(parts)
             return
@@ -85,16 +156,62 @@ class ProfileRegistry:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         if export:
+            self.stores += 1
+        shared = self._shared
+        if shared is not None and publish:
+            status = shared.put(self._digest(parts), value)
+            if export:
+                if status == "duplicate":
+                    # This process solved an artefact a sibling had
+                    # already published — exactly the wasted Newton
+                    # work the plane exists to eliminate.
+                    obs.count("profile_cache.duplicate_solves")
+                elif status == "stored":
+                    obs.count("profile_cache.shared_stores")
+                else:
+                    obs.count("profile_cache.shm_fallbacks")
+                    self._exports.append((parts, value))
+            return
+        if export:
             self._exports.append((parts, value))
 
     def drain_exports(self) -> tuple[tuple[tuple, Any], ...]:
-        """Hand over (and clear) the entries computed since last drain."""
-        exports = tuple(self._exports)
+        """Hand over (and clear) the entries computed since last drain.
+
+        Ship-back payloads are deduped by their full part tuple (config
+        hash, solver, fault token, quantum/bias tail): registry eviction
+        churn inside one plan can queue the same artefact repeatedly,
+        and re-pickling it once per task is pure pipe traffic.  The
+        bytes the dedupe saves are counted so the bench can see them.
+        """
+        if not self._exports:
+            return ()
+        exports: list[tuple[tuple, Any]] = []
+        seen: set[tuple] = set()
+        duplicates = 0
+        bytes_saved = 0
+        for parts, value in self._exports:
+            if parts in seen:
+                duplicates += 1
+                nbytes = getattr(value, "nbytes", None)
+                bytes_saved += int(nbytes) if nbytes is not None else 64
+                continue
+            seen.add(parts)
+            exports.append((parts, value))
         self._exports.clear()
-        return exports
+        if duplicates:
+            obs.count("profile_cache.shipback_deduped", duplicates)
+            obs.count("profile_cache.shipback_bytes_saved", bytes_saved)
+        return tuple(exports)
 
     def absorb(self, items: "tuple[tuple[tuple, Any], ...]") -> int:
-        """Merge shipped-back entries; absorbed entries never re-export."""
+        """Merge shipped-back entries; absorbed entries never re-export.
+
+        With a shared plane attached (the supervisor's side of the
+        process pool), absorbed entries are also published into the
+        segment: a profile that arrived via the fallback pipe still
+        becomes zero-copy readable to every sibling.
+        """
         absorbed = 0
         for parts, value in items:
             if parts not in self._entries:
@@ -103,8 +220,10 @@ class ProfileRegistry:
         return absorbed
 
     def clear(self) -> None:
+        """Drop local entries and pending exports (shared plane stays)."""
         self._entries.clear()
         self._exports.clear()
+        self._digests.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -195,15 +314,20 @@ class ArrayIRModel:
             obs.count("profile_cache.disk_store")
 
     def _lookup_artefact(self, parts: tuple) -> Any:
-        """Registry-then-disk lookup; validated by the caller.
+        """Registry -> shared plane -> disk lookup; validated by caller.
 
-        A disk hit is promoted into the registry (without re-export); a
-        registry hit is lazily written through to the disk store, which
-        is how worker-shipped profiles reach the persistent layer.
+        A shared-plane or disk hit is promoted into the registry
+        (without re-export); a registry hit is lazily written through to
+        the disk store, which is how worker-shipped profiles reach the
+        persistent layer.
         """
         value = profile_registry.get(parts)
         if value is not None:
             obs.count("profile_cache.registry_hit")
+            self._persist(parts, value)
+            return value
+        value = profile_registry.shared_get(parts)
+        if value is not None:
             self._persist(parts, value)
             return value
         store = self.profile_store
